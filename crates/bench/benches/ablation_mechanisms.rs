@@ -1,0 +1,80 @@
+//! Ablation benches: the design-choice comparisons DESIGN.md calls out
+//! (DIN group size, encoder objective, ECP record placement, read-priority
+//! mechanism, Start-Gap period). `examples/ablations.rs` reports the
+//! effect sizes; these measure the simulator cost of each variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_engine::SimRng;
+use sdpcm_osalloc::NmRatio;
+use sdpcm_pcm::line::LineBuf;
+use sdpcm_trace::BenchKind;
+use sdpcm_wd::din::{DinCodec, DinFlags};
+use sdpcm_wd::fnw::FnwCodec;
+
+fn random_line(rng: &mut SimRng) -> LineBuf {
+    let mut words = [0u64; 8];
+    for w in &mut words {
+        *w = rng.next_u64();
+    }
+    LineBuf::from_words(words)
+}
+
+fn encoder_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/encoders");
+    for group in [8usize, 32] {
+        let codec = DinCodec::new(group);
+        g.bench_function(format!("din{group}"), |b| {
+            let mut rng = SimRng::from_seed(41);
+            let stored = random_line(&mut rng);
+            let plain = random_line(&mut rng);
+            b.iter(|| black_box(codec.encode(&plain, &stored, DinFlags::default())))
+        });
+    }
+    let fnw = FnwCodec::new(8);
+    g.bench_function("fnw8", |b| {
+        let mut rng = SimRng::from_seed(42);
+        let stored = random_line(&mut rng);
+        let plain = random_line(&mut rng);
+        b.iter(|| black_box(fnw.encode(&plain, &stored, DinFlags::default())))
+    });
+    g.finish();
+}
+
+fn mechanism_benches(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("ablation/mechanisms");
+    g.sample_size(10);
+    g.bench_function("ecp_inline", |b| {
+        let s = Scheme {
+            name: "LazyC(inline)".into(),
+            ctrl: Scheme::lazyc().ctrl.with_inline_ecp_writes(),
+            ratio: NmRatio::one_one(),
+        };
+        b.iter(|| black_box(run_cell(s.clone(), BenchKind::Lbm, &p)))
+    });
+    g.bench_function("write_pausing", |b| {
+        let s = Scheme {
+            name: "LazyC+WP".into(),
+            ctrl: Scheme::lazyc().ctrl.with_write_pausing(),
+            ratio: NmRatio::one_one(),
+        };
+        b.iter(|| black_box(run_cell(s.clone(), BenchKind::Mcf, &p)))
+    });
+    g.bench_function("start_gap_psi64", |b| {
+        let s = Scheme {
+            name: "DIN+SG64".into(),
+            ctrl: Scheme::din().ctrl.with_start_gap(64),
+            ratio: NmRatio::one_one(),
+        };
+        b.iter(|| black_box(run_cell(s.clone(), BenchKind::Zeusmp, &p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, encoder_benches, mechanism_benches);
+criterion_main!(benches);

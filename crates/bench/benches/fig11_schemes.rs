@@ -1,0 +1,25 @@
+//! Figure 11 bench: one run per compared scheme (the headline figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for scheme in Scheme::figure11_set() {
+        let name = scheme.name.clone();
+        g.bench_function(&name, |b| {
+            b.iter(|| black_box(run_cell(scheme.clone(), BenchKind::Zeusmp, &p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

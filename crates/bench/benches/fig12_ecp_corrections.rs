@@ -1,0 +1,32 @@
+//! Figure 12 bench: LazyC runs across ECP-N (correction counting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::{ExperimentParams, Scheme};
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for entries in [0usize, 4, 6] {
+        let p = ExperimentParams {
+            ecp_entries: entries,
+            ..params::criterion()
+        };
+        let scheme = if entries == 0 {
+            Scheme::baseline()
+        } else {
+            Scheme::lazyc()
+        };
+        g.bench_function(format!("ecp{entries}"), |b| {
+            b.iter(|| black_box(run_cell(scheme.clone(), BenchKind::Mcf, &p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

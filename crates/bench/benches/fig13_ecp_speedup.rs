@@ -1,0 +1,20 @@
+//! Figure 13 bench: the ECP-N performance sweep kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::fig12_13;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("sweep_ecp_0_and_6", |b| {
+        b.iter(|| black_box(fig12_13(&p, &[0, 6])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 14 bench: aged-DIMM runs (hard errors consuming ECP entries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::{ExperimentParams, Scheme};
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for age in [0.0f64, 1.0] {
+        let p = ExperimentParams {
+            dimm_age: Some(age),
+            ..params::criterion()
+        };
+        g.bench_function(format!("age{:.0}pct", age * 100.0), |b| {
+            b.iter(|| black_box(run_cell(Scheme::lazyc(), BenchKind::Zeusmp, &p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 15 bench: LazyC+PreRead across write-queue sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::{ExperimentParams, Scheme};
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    for q in [8usize, 32, 64] {
+        let p = ExperimentParams {
+            write_queue_cap: q,
+            ..params::criterion()
+        };
+        g.bench_function(format!("wq{q}"), |b| {
+            b.iter(|| black_box(run_cell(Scheme::lazyc_preread(), BenchKind::Mcf, &p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

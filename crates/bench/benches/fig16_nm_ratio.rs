@@ -1,0 +1,36 @@
+//! Figure 16 bench: basic VnC under each (n:m) allocator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_osalloc::NmRatio;
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    for ratio in [
+        NmRatio::one_two(),
+        NmRatio::two_three(),
+        NmRatio::three_four(),
+        NmRatio::one_one(),
+    ] {
+        g.bench_function(ratio.to_string(), |b| {
+            b.iter(|| {
+                black_box(run_cell(
+                    Scheme::baseline_with_ratio(ratio),
+                    BenchKind::Lbm,
+                    &p,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 17 bench: wear accounting of data chips under LazyC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("lazyc_wear_run", |b| {
+        b.iter(|| {
+            let r = run_cell(Scheme::lazyc(), BenchKind::Lbm, &p);
+            black_box(r.wear.data_lifetime_norm())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

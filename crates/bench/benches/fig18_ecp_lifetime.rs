@@ -1,0 +1,25 @@
+//! Figure 18 bench: ECP-chip record-traffic accounting under LazyC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig18");
+    g.sample_size(10);
+    g.bench_function("lazyc_ecp_traffic_run", |b| {
+        b.iter(|| {
+            let r = run_cell(Scheme::lazyc(), BenchKind::Mcf, &p);
+            black_box(r.wear.ecp_lifetime_norm())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 19 bench: write-cancellation integration runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_osalloc::NmRatio;
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig19");
+    g.sample_size(10);
+    g.bench_function("vnc", |b| {
+        b.iter(|| black_box(run_cell(Scheme::baseline(), BenchKind::Bwaves, &p)))
+    });
+    g.bench_function("wc_lazyc", |b| {
+        let scheme = Scheme {
+            name: "WC+LazyC".into(),
+            ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
+            ratio: NmRatio::one_one(),
+        };
+        b.iter(|| black_box(run_cell(scheme.clone(), BenchKind::Bwaves, &p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 4 bench: WD error injection while writing under basic VnC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for bench in [BenchKind::Mcf, BenchKind::GemsFdtd] {
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(run_cell(Scheme::baseline(), bench, &p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5 bench: DIN vs basic VnC runs (the overhead measurement pair).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_bench::params;
+use sdpcm_core::experiments::run_cell;
+use sdpcm_core::Scheme;
+use sdpcm_trace::BenchKind;
+
+fn bench(c: &mut Criterion) {
+    let p = params::criterion();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("din_run", |b| {
+        b.iter(|| black_box(run_cell(Scheme::din(), BenchKind::Lbm, &p)))
+    });
+    g.bench_function("basic_vnc_run", |b| {
+        b.iter(|| black_box(run_cell(Scheme::baseline(), BenchKind::Lbm, &p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 1 bench: evaluating the calibrated thermal + disturbance model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_core::experiments::table1;
+use sdpcm_wd::DisturbanceModel;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/calibrate_and_evaluate", |b| {
+        b.iter(|| black_box(table1()))
+    });
+    c.bench_function("table1/probability_at", |b| {
+        let m = DisturbanceModel::calibrated();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in 280..400 {
+                acc += m.probability_at(black_box(f64::from(t)));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

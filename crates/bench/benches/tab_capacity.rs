@@ -1,0 +1,23 @@
+//! §6.1 bench: the capacity/area analytics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdpcm_pcm::capacity;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("capacity/equal_area_comparison", |b| {
+        b.iter(|| black_box(capacity::equal_area_comparison()))
+    });
+    c.bench_function("capacity/chip_comparisons", |b| {
+        b.iter(|| {
+            black_box((
+                capacity::equal_size_chip_comparison(),
+                capacity::big_chip_area_reduction(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,294 @@
+//! A generic set-associative cache.
+//!
+//! Write-back, write-allocate, true LRU. Addresses are *line* addresses
+//! (byte address / 64); the cache never stores data — the device store is
+//! the single source of truth for contents — only presence and dirtiness,
+//! which is all the timing model needs.
+
+use sdpcm_engine::Cycle;
+
+/// Line size used throughout the system (Table 2: 64 B lines everywhere).
+pub const LINE_BYTES: u64 = 64;
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Hit latency.
+    pub hit_latency: Cycle,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not divide into whole sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        assert!(self.ways > 0 && self.size_bytes > 0);
+        let lines = self.size_bytes / LINE_BYTES;
+        assert!(
+            lines.is_multiple_of(u64::from(self.ways)) && lines > 0,
+            "capacity must divide into whole sets"
+        );
+        lines / u64::from(self.ways)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64, // larger = more recently used
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Dirty line evicted to make room (line address), if any.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative cache over line addresses.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_cachesim::cache::{AccessKind, CacheConfig, SetAssocCache};
+/// use sdpcm_engine::Cycle;
+///
+/// let mut c = SetAssocCache::new(CacheConfig {
+///     size_bytes: 4096,
+///     ways: 2,
+///     hit_latency: Cycle(2),
+/// });
+/// assert!(!c.access(7, AccessKind::Read).hit); // cold miss
+/// assert!(c.access(7, AccessKind::Read).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> SetAssocCache {
+        let sets = config.sets() as usize;
+        SetAssocCache {
+            config,
+            sets: vec![vec![Way::default(); config.ways as usize]; sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hit count so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
+        let sets = self.sets.len() as u64;
+        ((line_addr % sets) as usize, line_addr / sets)
+    }
+
+    /// Accesses `line_addr`; on a miss the line is allocated (the caller
+    /// is responsible for fetching it from below). Returns hit status and
+    /// any dirty victim's line address.
+    pub fn access(&mut self, line_addr: u64, kind: AccessKind) -> AccessOutcome {
+        self.tick += 1;
+        let (set_idx, tag) = self.set_and_tag(line_addr);
+        let sets = self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.tick;
+            if kind == AccessKind::Write {
+                way.dirty = true;
+            }
+            self.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.misses += 1;
+        // Victim: invalid way if any, else LRU.
+        let victim_idx = set.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("set has at least one way")
+        });
+        let victim = set[victim_idx];
+        let writeback = (victim.valid && victim.dirty).then(|| victim.tag * sets + set_idx as u64);
+        set[victim_idx] = Way {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            lru: self.tick,
+        };
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Whether a line is currently present (no LRU update).
+    #[must_use]
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(line_addr);
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates a line, returning `true` if it was present and dirty.
+    pub fn invalidate(&mut self, line_addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(line_addr);
+        for w in &mut self.sets[set_idx] {
+            if w.valid && w.tag == tag {
+                let was_dirty = w.dirty;
+                w.valid = false;
+                w.dirty = false;
+                return was_dirty;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 2 sets × 2 ways.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 4 * LINE_BYTES,
+            ways: 2,
+            hit_latency: Cycle(1),
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(10, AccessKind::Read).hit);
+        assert!(c.access(10, AccessKind::Read).hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds even line addresses: 0, 2, 4 map to set 0.
+        c.access(0, AccessKind::Read);
+        c.access(2, AccessKind::Read);
+        c.access(0, AccessKind::Read); // 0 now MRU
+        c.access(4, AccessKind::Read); // evicts 2
+        assert!(c.contains(0));
+        assert!(!c.contains(2));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0, AccessKind::Write);
+        c.access(2, AccessKind::Read);
+        let out = c.access(4, AccessKind::Read); // evicts 0 (LRU, dirty)
+        assert_eq!(out.writeback, Some(0));
+        // Clean eviction reports none.
+        let out = c.access(6, AccessKind::Read); // evicts 2 (clean)
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Write);
+        c.access(2, AccessKind::Read);
+        let out = c.access(4, AccessKind::Read); // evicts 0
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = small();
+        c.access(1, AccessKind::Write);
+        assert!(c.invalidate(1));
+        assert!(!c.contains(1));
+        assert!(!c.invalidate(1)); // already gone
+        c.access(3, AccessKind::Read);
+        assert!(!c.invalidate(3)); // clean
+    }
+
+    #[test]
+    fn set_mapping_separates_lines() {
+        let mut c = small();
+        // Odd lines map to set 1; filling set 0 must not evict them.
+        c.access(1, AccessKind::Read);
+        for l in [0u64, 2, 4, 6, 8] {
+            c.access(l, AccessKind::Read);
+        }
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn config_sets_math() {
+        let cfg = CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            hit_latency: Cycle(1),
+        };
+        assert_eq!(cfg.sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn bad_geometry_panics() {
+        let _ = SetAssocCache::new(CacheConfig {
+            size_bytes: 3 * LINE_BYTES,
+            ways: 2,
+            hit_latency: Cycle(1),
+        });
+    }
+}

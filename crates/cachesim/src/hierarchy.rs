@@ -1,0 +1,273 @@
+//! The Table 2 cache hierarchy of one core.
+//!
+//! Private, three-level, all 64 B lines, write-back:
+//!
+//! * L1: 32 KB, 4-way (I/D unified here; the traces are data references),
+//! * L2: 2 MB, 4-way LRU,
+//! * L3: 32 MB DRAM cache, 8-way LRU, 50 ns (200-cycle) hit.
+//!
+//! A reference walks down until it hits; misses allocate on the way back
+//! up. Dirty victims cascade: an L1 victim is written into L2, an L2
+//! victim into L3, and an L3 victim becomes a PCM write-back. The PCM
+//! traffic (fill reads + write-backs) is returned to the caller, which
+//! forwards it to the memory controller.
+
+use sdpcm_engine::Cycle;
+
+use crate::cache::{AccessKind, CacheConfig, SetAssocCache, LINE_BYTES};
+
+/// Configuration of the three levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 configuration.
+    pub l1: CacheConfig,
+    /// L2 configuration.
+    pub l2: CacheConfig,
+    /// L3 (DRAM cache) configuration.
+    pub l3: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 2 values.
+    #[must_use]
+    pub fn table2() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                hit_latency: Cycle(2),
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 4,
+                hit_latency: Cycle(20),
+            },
+            l3: CacheConfig {
+                size_bytes: 32 * 1024 * 1024,
+                ways: 8,
+                hit_latency: Cycle(200), // 50 ns at 4 GHz
+            },
+        }
+    }
+
+    /// A scaled-down hierarchy for fast tests (same structure, tiny
+    /// capacities so misses actually happen).
+    #[must_use]
+    pub fn tiny() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 8 * LINE_BYTES,
+                ways: 2,
+                hit_latency: Cycle(2),
+            },
+            l2: CacheConfig {
+                size_bytes: 32 * LINE_BYTES,
+                ways: 4,
+                hit_latency: Cycle(20),
+            },
+            l3: CacheConfig {
+                size_bytes: 128 * LINE_BYTES,
+                ways: 8,
+                hit_latency: Cycle(200),
+            },
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::table2()
+    }
+}
+
+/// Outcome of pushing one reference through the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HierarchyOutcome {
+    /// Cache latency accumulated before PCM is reached (0 traffic means
+    /// the reference was fully absorbed).
+    pub latency: Cycle,
+    /// Line that must be fetched from PCM (demand fill), if any.
+    pub pcm_fill: Option<u64>,
+    /// Dirty lines pushed out to PCM.
+    pub pcm_writebacks: Vec<u64>,
+}
+
+impl HierarchyOutcome {
+    /// Whether the reference was satisfied without touching PCM.
+    #[must_use]
+    pub fn absorbed(&self) -> bool {
+        self.pcm_fill.is_none() && self.pcm_writebacks.is_empty()
+    }
+}
+
+/// The private cache stack of one core.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_cachesim::cache::AccessKind;
+/// use sdpcm_cachesim::hierarchy::{CoreCaches, HierarchyConfig};
+///
+/// let mut c = CoreCaches::new(HierarchyConfig::tiny());
+/// let first = c.access(42, AccessKind::Read);
+/// assert_eq!(first.pcm_fill, Some(42)); // cold miss reaches PCM
+/// let second = c.access(42, AccessKind::Read);
+/// assert!(second.absorbed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreCaches {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+}
+
+impl CoreCaches {
+    /// Builds an empty hierarchy.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> CoreCaches {
+        CoreCaches {
+            l1: SetAssocCache::new(config.l1),
+            l2: SetAssocCache::new(config.l2),
+            l3: SetAssocCache::new(config.l3),
+        }
+    }
+
+    /// Pushes one reference through L1 → L2 → L3, returning accumulated
+    /// latency and the PCM traffic it generates.
+    pub fn access(&mut self, line_addr: u64, kind: AccessKind) -> HierarchyOutcome {
+        let mut out = HierarchyOutcome::default();
+
+        // L1.
+        out.latency += self.l1.config().hit_latency;
+        let l1 = self.l1.access(line_addr, kind);
+        if let Some(victim) = l1.writeback {
+            // Dirty L1 victim lands in L2.
+            self.write_into_l2(victim, &mut out);
+        }
+        if l1.hit {
+            return out;
+        }
+
+        // L2 fill path (the fill itself is a read of the lower level).
+        out.latency += self.l2.config().hit_latency;
+        let l2 = self.l2.access(line_addr, AccessKind::Read);
+        if let Some(victim) = l2.writeback {
+            self.write_into_l3(victim, &mut out);
+        }
+        if l2.hit {
+            return out;
+        }
+
+        // L3.
+        out.latency += self.l3.config().hit_latency;
+        let l3 = self.l3.access(line_addr, AccessKind::Read);
+        if let Some(victim) = l3.writeback {
+            out.pcm_writebacks.push(victim);
+        }
+        if !l3.hit {
+            out.pcm_fill = Some(line_addr);
+        }
+        out
+    }
+
+    fn write_into_l2(&mut self, line_addr: u64, out: &mut HierarchyOutcome) {
+        let r = self.l2.access(line_addr, AccessKind::Write);
+        if let Some(victim) = r.writeback {
+            self.write_into_l3(victim, out);
+        }
+        // A write-back that misses L2 allocates there; no PCM read is
+        // needed (full-line write-back).
+    }
+
+    fn write_into_l3(&mut self, line_addr: u64, out: &mut HierarchyOutcome) {
+        let r = self.l3.access(line_addr, AccessKind::Write);
+        if let Some(victim) = r.writeback {
+            out.pcm_writebacks.push(victim);
+        }
+    }
+
+    /// Aggregate (hits, misses) across the three levels, L1-first.
+    #[must_use]
+    pub fn stats(&self) -> [(u64, u64); 3] {
+        [
+            (self.l1.hits(), self.l1.misses()),
+            (self.l2.hits(), self.l2.misses()),
+            (self.l3.hits(), self.l3.misses()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_reaches_pcm() {
+        let mut c = CoreCaches::new(HierarchyConfig::tiny());
+        let out = c.access(100, AccessKind::Read);
+        assert_eq!(out.pcm_fill, Some(100));
+        assert!(out.pcm_writebacks.is_empty());
+        // Latency includes all three levels.
+        assert_eq!(out.latency, Cycle(2 + 20 + 200));
+    }
+
+    #[test]
+    fn warm_read_is_absorbed_fast() {
+        let mut c = CoreCaches::new(HierarchyConfig::tiny());
+        c.access(100, AccessKind::Read);
+        let out = c.access(100, AccessKind::Read);
+        assert!(out.absorbed());
+        assert_eq!(out.latency, Cycle(2));
+    }
+
+    #[test]
+    fn dirty_data_eventually_reaches_pcm() {
+        let mut c = CoreCaches::new(HierarchyConfig::tiny());
+        // Write a line, then stream enough distinct lines through to
+        // force it out of all three levels.
+        c.access(0, AccessKind::Write);
+        let mut writebacks = Vec::new();
+        for l in 1..4096u64 {
+            let out = c.access(l, AccessKind::Read);
+            writebacks.extend(out.pcm_writebacks);
+        }
+        assert!(
+            writebacks.contains(&0),
+            "dirty line 0 must be written back to PCM"
+        );
+    }
+
+    #[test]
+    fn clean_lines_never_write_back() {
+        let mut c = CoreCaches::new(HierarchyConfig::tiny());
+        for l in 0..4096u64 {
+            let out = c.access(l, AccessKind::Read);
+            assert!(out.pcm_writebacks.is_empty(), "read-only stream wrote back");
+        }
+    }
+
+    #[test]
+    fn l2_absorbs_l1_victims() {
+        let mut c = CoreCaches::new(HierarchyConfig::tiny());
+        // L1 tiny (16 lines span with 8 lines capacity); line 0 falls out
+        // of L1 quickly but must still hit in L2.
+        c.access(0, AccessKind::Read);
+        for l in 1..9u64 {
+            c.access(l * 2, AccessKind::Read); // same L1 sets
+        }
+        let out = c.access(0, AccessKind::Read);
+        assert!(out.pcm_fill.is_none(), "L2/L3 should still hold line 0");
+        assert!(out.latency < Cycle(2 + 20 + 200));
+    }
+
+    #[test]
+    fn table2_config_shapes() {
+        let cfg = HierarchyConfig::table2();
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.l3.size_bytes, 32 * 1024 * 1024);
+        assert_eq!(cfg.l3.hit_latency, Cycle(200));
+        // Must construct without panicking.
+        let _ = CoreCaches::new(cfg);
+    }
+}

@@ -1,0 +1,423 @@
+//! The full-hierarchy front end: cores → L1/L2/L3 → memory controller.
+//!
+//! [`crate::system::SystemSim`] replays *post-cache* reference streams,
+//! matching the paper's PIN methodology (§5.2). This simulator is the
+//! other front end the paper's in-house tool had: cores issue cache-line
+//! loads/stores, the Table 2 hierarchy filters them, and only L3 misses
+//! and dirty L3 evictions reach PCM. Useful when the question is how a
+//! cache configuration changes the PCM-level traffic mix (the figures do
+//! not need it; `examples/hierarchy_mode.rs` shows the raw plumbing).
+//!
+//! Modelling notes: cores are in-order and blocking — a load stalls the
+//! core through the hierarchy latency plus, on an L3 miss, the PCM read;
+//! stores are posted once the hierarchy access completes; write-backs
+//! synthesize their payload from the line's newest architectural value
+//! (the store path is presence/dirtiness only, per `sdpcm-cachesim`).
+
+use std::collections::HashMap;
+
+use sdpcm_cachesim::cache::AccessKind as CacheAccess;
+use sdpcm_cachesim::hierarchy::{CoreCaches, HierarchyConfig};
+use sdpcm_engine::{Cycle, SimRng};
+use sdpcm_memctrl::{Access, AccessKind, CtrlConfig, MemoryController, ReqId};
+use sdpcm_osalloc::{NmAllocator, PageTable};
+use sdpcm_pcm::geometry::{LineAddr, PageId};
+use sdpcm_trace::addr::{AddressStream, LINES_PER_PAGE};
+use sdpcm_trace::{BenchKind, Workload};
+
+use crate::config::{ExperimentParams, Scheme};
+use crate::metrics::RunStats;
+
+/// Knobs specific to hierarchy mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyParams {
+    /// Cache accesses each core performs.
+    pub accesses_per_core: u64,
+    /// Instructions (cycles at 1 CPI) between consecutive cache accesses.
+    pub insts_per_access: u64,
+    /// Fraction of accesses that are stores.
+    pub store_fraction: f64,
+    /// The cache stack (Table 2 by default; shrink for tests so misses
+    /// actually reach PCM).
+    pub caches: HierarchyConfig,
+}
+
+impl HierarchyParams {
+    /// Small caches + short runs: every test reaches PCM quickly.
+    #[must_use]
+    pub fn quick_test() -> HierarchyParams {
+        HierarchyParams {
+            accesses_per_core: 1_500,
+            insts_per_access: 3,
+            store_fraction: 0.3,
+            caches: HierarchyConfig::tiny(),
+        }
+    }
+
+    /// The paper's Table 2 hierarchy.
+    #[must_use]
+    pub fn table2() -> HierarchyParams {
+        HierarchyParams {
+            accesses_per_core: 100_000,
+            insts_per_access: 3,
+            store_fraction: 0.3,
+            caches: HierarchyConfig::table2(),
+        }
+    }
+}
+
+struct HCore {
+    stream: AddressStream,
+    caches: CoreCaches,
+    rng: SimRng,
+    ready_at: Cycle,
+    accesses_done: u64,
+    instructions: u64,
+    blocked_on: Option<ReqId>,
+    finish: Option<Cycle>,
+}
+
+/// The hierarchy-mode simulator.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_core::hiersim::{HierarchyParams, HierarchySim};
+/// use sdpcm_core::{ExperimentParams, Scheme};
+/// use sdpcm_trace::BenchKind;
+///
+/// let mut sim = HierarchySim::build(
+///     Scheme::lazyc(),
+///     BenchKind::Wrf,
+///     &ExperimentParams::quick_test(),
+///     &HierarchyParams::quick_test(),
+/// );
+/// let stats = sim.run();
+/// assert!(stats.total_cycles > 0);
+/// ```
+pub struct HierarchySim {
+    scheme: Scheme,
+    workload_name: String,
+    hparams: HierarchyParams,
+    ctrl: MemoryController,
+    cores: Vec<HCore>,
+    tables: Vec<PageTable>,
+    inflight: HashMap<ReqId, usize>,
+    next_id: u64,
+    pcm_fills: u64,
+    pcm_writebacks: u64,
+}
+
+impl std::fmt::Debug for HierarchySim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HierarchySim")
+            .field("scheme", &self.scheme.name)
+            .field("workload", &self.workload_name)
+            .finish()
+    }
+}
+
+impl HierarchySim {
+    /// Builds the system: eight copies of `bench`, each core with its own
+    /// private cache stack and OS page mapping.
+    #[must_use]
+    pub fn build(
+        scheme: Scheme,
+        bench: BenchKind,
+        params: &ExperimentParams,
+        hparams: &HierarchyParams,
+    ) -> HierarchySim {
+        let workload = Workload::homogeneous(bench);
+        let mut rng = SimRng::from_seed_label(params.seed, "hier-system");
+        let geometry = params.geometry_for(&workload, scheme.ratio);
+        let cfg = CtrlConfig {
+            write_queue_cap: params.write_queue_cap,
+            ecp_entries: params.ecp_entries,
+            ..CtrlConfig::table2(scheme.ctrl)
+        };
+        let ctrl = MemoryController::new(cfg, geometry, rng.derive("ctrl"));
+
+        let mut os = NmAllocator::new(geometry.total_pages());
+        let mut tables = Vec::new();
+        let mut cores = Vec::new();
+        for (core, pages) in workload.pages_per_core().into_iter().enumerate() {
+            let frames = os
+                .alloc_pages(scheme.ratio, pages)
+                .expect("geometry_for sized the device to fit");
+            let mut table = PageTable::new();
+            for (vpage, frame) in frames.into_iter().enumerate() {
+                table.map(vpage as u64, frame, scheme.ratio);
+            }
+            tables.push(table);
+            let profile = workload.profiles()[core];
+            cores.push(HCore {
+                stream: AddressStream::new(
+                    profile.pattern,
+                    profile.ws_pages,
+                    rng.derive(&format!("hier-addr{core}")),
+                ),
+                caches: CoreCaches::new(hparams.caches),
+                rng: rng.derive(&format!("hier-core{core}")),
+                ready_at: Cycle::ZERO,
+                accesses_done: 0,
+                instructions: 0,
+                blocked_on: None,
+                finish: None,
+            });
+        }
+
+        HierarchySim {
+            scheme,
+            workload_name: workload.name().to_owned(),
+            hparams: *hparams,
+            ctrl,
+            cores,
+            tables,
+            inflight: HashMap::new(),
+            next_id: 0,
+            pcm_fills: 0,
+            pcm_writebacks: 0,
+        }
+    }
+
+    /// The controller (diagnostics).
+    #[must_use]
+    pub fn controller(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// `(L3-miss fills, dirty write-backs)` the hierarchy produced.
+    #[must_use]
+    pub fn pcm_traffic(&self) -> (u64, u64) {
+        (self.pcm_fills, self.pcm_writebacks)
+    }
+
+    fn translate(&self, core: usize, vline: u64) -> LineAddr {
+        let vpage = vline / LINES_PER_PAGE;
+        let slot = (vline % LINES_PER_PAGE) as u8;
+        let pte = self.tables[core]
+            .translate(vpage)
+            .expect("working set fully mapped");
+        let (bank, row) = self
+            .ctrl
+            .store()
+            .geometry()
+            .page_to_bank_row(PageId(pte.frame));
+        LineAddr { bank, row, slot }
+    }
+
+    fn submit_writeback(&mut self, core: usize, vline: u64, now: Cycle) {
+        let addr = self.translate(core, vline);
+        let mut data = self.ctrl.latest_architectural(addr);
+        // A dirty line differs from memory in a few dozen cells.
+        for _ in 0..48 {
+            let b = self.cores[core].rng.index(512);
+            let v = data.bit(b);
+            data.set_bit(b, !v);
+        }
+        let id = ReqId(self.next_id);
+        self.next_id += 1;
+        self.pcm_writebacks += 1;
+        self.ctrl.submit(
+            Access {
+                id,
+                addr,
+                kind: AccessKind::Write(data),
+                ratio: self.scheme.ratio,
+                core: core as u8,
+                arrive: now,
+            },
+            now,
+        );
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a scheduling livelock (would indicate a bug).
+    pub fn run(&mut self) -> RunStats {
+        let quota = self.hparams.accesses_per_core;
+        let mut guard = 0u64;
+        loop {
+            if self.cores.iter().all(|c| c.finish.is_some()) {
+                break;
+            }
+            let core_t = self
+                .cores
+                .iter()
+                .filter(|c| c.blocked_on.is_none() && c.finish.is_none())
+                .map(|c| c.ready_at)
+                .min();
+            let ctrl_t = self.ctrl.next_event();
+            let now = match (core_t, ctrl_t) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => unreachable!("unfinished cores but nothing scheduled"),
+            };
+            guard += 1;
+            assert!(guard < 500_000_000, "hierarchy sim livelock");
+
+            for done in self.ctrl.advance(now) {
+                if let Some(core) = self.inflight.remove(&done.id) {
+                    self.cores[core].blocked_on = None;
+                    self.cores[core].ready_at = done.at;
+                }
+            }
+
+            for core in 0..self.cores.len() {
+                let c = &self.cores[core];
+                if c.finish.is_some() || c.blocked_on.is_some() || c.ready_at > now {
+                    continue;
+                }
+                self.step_core(core, now, quota);
+            }
+        }
+
+        // Final flush so per-write statistics cover everything.
+        let end = Cycle(self.total_cycles());
+        self.ctrl.drain_all(end);
+        while let Some(t) = self.ctrl.next_event() {
+            let _ = self.ctrl.advance(t);
+            self.ctrl.drain_all(t);
+        }
+
+        RunStats {
+            scheme: self.scheme.name.clone(),
+            workload: format!("{}(hier)", self.workload_name),
+            total_cycles: self.total_cycles(),
+            instructions: self.cores.iter().map(|c| c.instructions).sum(),
+            reads: self.pcm_fills,
+            writes: self.pcm_writebacks,
+            ctrl: self.ctrl.stats().clone(),
+            wear: *self.ctrl.store().wear(),
+            energy: *self.ctrl.energy(),
+        }
+    }
+
+    fn step_core(&mut self, core: usize, now: Cycle, quota: u64) {
+        // One cache access.
+        let (vpage, slot) = self.cores[core].stream.next_line();
+        let vline = vpage * LINES_PER_PAGE + u64::from(slot);
+        let store_fraction = self.hparams.store_fraction;
+        let is_store = self.cores[core].rng.chance(store_fraction);
+        let kind = if is_store {
+            CacheAccess::Write
+        } else {
+            CacheAccess::Read
+        };
+        let out = self.cores[core].caches.access(vline, kind);
+
+        // Dirty evictions become posted PCM writes.
+        let writebacks = out.pcm_writebacks.clone();
+        for wb in writebacks {
+            self.submit_writeback(core, wb, now);
+        }
+
+        let c = &mut self.cores[core];
+        c.accesses_done += 1;
+        c.instructions += self.hparams.insts_per_access;
+        let after_caches = now + out.latency + Cycle(self.hparams.insts_per_access);
+
+        if let Some(fill_line) = out.pcm_fill {
+            // L3 miss: the core blocks on the PCM read.
+            let addr = self.translate(core, fill_line);
+            let id = ReqId(self.next_id);
+            self.next_id += 1;
+            self.pcm_fills += 1;
+            self.inflight.insert(id, core);
+            self.cores[core].blocked_on = Some(id);
+            self.ctrl.submit(
+                Access {
+                    id,
+                    addr,
+                    kind: AccessKind::Read,
+                    ratio: self.scheme.ratio,
+                    core: core as u8,
+                    arrive: after_caches,
+                },
+                after_caches,
+            );
+        } else {
+            self.cores[core].ready_at = after_caches;
+        }
+        if self.cores[core].accesses_done >= quota {
+            self.cores[core].finish = Some(after_caches);
+            self.cores[core].blocked_on = None;
+            self.inflight.retain(|_, &mut c| c != core);
+        }
+    }
+
+    fn total_cycles(&self) -> u64 {
+        self.cores
+            .iter()
+            .filter_map(|c| c.finish)
+            .map(|c| c.0)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: Scheme, bench: BenchKind) -> (RunStats, (u64, u64)) {
+        let mut sim = HierarchySim::build(
+            scheme,
+            bench,
+            &ExperimentParams::quick_test(),
+            &HierarchyParams::quick_test(),
+        );
+        let stats = sim.run();
+        let traffic = sim.pcm_traffic();
+        (stats, traffic)
+    }
+
+    #[test]
+    fn completes_and_produces_pcm_traffic() {
+        let (stats, (fills, wbs)) = quick(Scheme::lazyc(), BenchKind::Mcf);
+        assert!(stats.total_cycles > 0);
+        assert!(fills > 100, "random mcf traffic must miss the tiny caches");
+        assert!(wbs > 10, "stores must eventually write back");
+        assert_eq!(stats.reads, fills);
+        assert_eq!(stats.writes, wbs);
+    }
+
+    #[test]
+    fn cache_resident_workload_barely_touches_pcm() {
+        // wrf's hot set fits even the tiny L3 after warmup: PCM fills per
+        // access must be far below mcf's.
+        let (wrf, (wrf_fills, _)) = quick(Scheme::lazyc(), BenchKind::Wrf);
+        let (mcf, (mcf_fills, _)) = quick(Scheme::lazyc(), BenchKind::Mcf);
+        let wrf_rate = wrf_fills as f64 / 1_500.0;
+        let mcf_rate = mcf_fills as f64 / 1_500.0;
+        assert!(
+            wrf_rate < mcf_rate,
+            "hot-set wrf ({wrf_rate:.3}) must miss less than random mcf ({mcf_rate:.3})"
+        );
+        assert!(wrf.total_cycles < mcf.total_cycles);
+    }
+
+    #[test]
+    fn vnc_overhead_visible_through_the_hierarchy() {
+        let (din, _) = quick(Scheme::din(), BenchKind::Mcf);
+        let (base, _) = quick(Scheme::baseline(), BenchKind::Mcf);
+        assert!(
+            base.total_cycles > din.total_cycles,
+            "basic VnC must be slower even behind caches: {} vs {}",
+            base.total_cycles,
+            din.total_cycles
+        );
+        assert!(base.ctrl.verification_ops.get() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, ta) = quick(Scheme::lazyc_preread(), BenchKind::Zeusmp);
+        let (b, tb) = quick(Scheme::lazyc_preread(), BenchKind::Zeusmp);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! SD-PCM core library: schemes, the full-system simulator, and the
+//! experiment runners behind every table and figure of the paper.
+//!
+//! The pieces below tie the workspace together:
+//!
+//! * [`config`] — [`config::Scheme`] (the §5.3 compared schemes:
+//!   `DIN`, `baseline` VnC, `LazyC`, `PreRead`, their combinations, and
+//!   the `(n:m)` allocators) and [`config::ExperimentParams`]
+//!   (seed, reference counts, geometry sizing).
+//! * [`system`] — [`system::SystemSim`]: eight trace-driven
+//!   in-order cores, per-core page tables filled by the WD-aware OS
+//!   allocator, and the cycle-level memory controller, advanced by one
+//!   event loop.
+//! * [`metrics`] — [`metrics::RunStats`]: cycles, CPI,
+//!   speedups, controller counters, and wear/lifetime summaries.
+//! * [`experiments`] — one function per paper table/figure, returning
+//!   plain rows that the bench harness formats.
+//! * [`hiersim`] — the alternative full-hierarchy front end: cores →
+//!   L1/L2/L3 → controller, for cache-sensitivity studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdpcm_core::{ExperimentParams, Scheme, SystemSim};
+//! use sdpcm_trace::BenchKind;
+//!
+//! let params = ExperimentParams::quick_test();
+//! let mut sim = SystemSim::build(Scheme::din(), BenchKind::Stream, &params);
+//! let stats = sim.run();
+//! assert!(stats.total_cycles > 0);
+//! assert!(stats.reads > 0);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod hiersim;
+pub mod metrics;
+pub mod system;
+
+pub use config::{ExperimentParams, Scheme};
+pub use metrics::RunStats;
+pub use system::SystemSim;

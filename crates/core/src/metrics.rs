@@ -1,0 +1,90 @@
+//! Run-level metrics.
+
+use sdpcm_memctrl::CtrlStats;
+use sdpcm_pcm::energy::EnergyMeter;
+use sdpcm_pcm::wear::WearMeter;
+
+/// Everything a finished [`SystemSim`](crate::system::SystemSim) run
+/// reports.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Scheme name (figure label).
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Cycles until the last core finished its reference quota.
+    pub total_cycles: u64,
+    /// Instructions executed across all cores.
+    pub instructions: u64,
+    /// Demand reads issued by cores.
+    pub reads: u64,
+    /// Demand writes issued by cores.
+    pub writes: u64,
+    /// Controller counters.
+    pub ctrl: CtrlStats,
+    /// Device wear counters.
+    pub wear: WearMeter,
+    /// Array energy (demand vs mitigation overhead).
+    pub energy: EnergyMeter,
+}
+
+impl RunStats {
+    /// Cycles per instruction, aggregated over the eight cores (each
+    /// core runs `instructions / 8` of them concurrently).
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        // All cores run in parallel; per-core instruction counts are
+        // near-equal, so CPI = wall cycles / (instructions per core).
+        self.total_cycles as f64 * 8.0 / self.instructions as f64
+    }
+
+    /// The paper's Speedup metric: `CPI_base / CPI_self` (§5.2). Values
+    /// above 1 mean this run is faster than `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run has no instructions.
+    #[must_use]
+    pub fn speedup_vs(&self, base: &RunStats) -> f64 {
+        let a = self.cpi();
+        let b = base.cpi();
+        assert!(a > 0.0 && b > 0.0, "speedup needs non-empty runs");
+        b / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, insts: u64) -> RunStats {
+        RunStats {
+            scheme: "s".into(),
+            workload: "w".into(),
+            total_cycles: cycles,
+            instructions: insts,
+            reads: 0,
+            writes: 0,
+            ctrl: CtrlStats::new(),
+            wear: WearMeter::default(),
+            energy: EnergyMeter::default(),
+        }
+    }
+
+    #[test]
+    fn cpi_and_speedup() {
+        let base = stats(8_000, 8_000); // CPI 8
+        let fast = stats(4_000, 8_000); // CPI 4
+        assert!((base.cpi() - 8.0).abs() < 1e-12);
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_vs(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_cpi_is_zero() {
+        assert_eq!(stats(100, 0).cpi(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The simulated clock.
+//!
+//! All latencies in the paper are given either in CPU cycles or in
+//! nanoseconds at a 4 GHz core clock (Table 2: PCM read 100 ns = 400
+//! cycles). [`Cycle`] is a transparent `u64` newtype so that cycle counts
+//! cannot be accidentally mixed with other integers (reference counts, bit
+//! counts, ...).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// CPU clock frequency assumed by the paper's latency table (Table 2).
+pub const CLOCK_GHZ: u64 = 4;
+
+/// A point in simulated time, measured in CPU cycles at 4 GHz.
+///
+/// `Cycle` is ordered, hashable and cheap to copy. Arithmetic is provided
+/// for the common "advance by a latency" pattern; subtraction panics on
+/// underflow in debug builds, like plain `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::Cycle;
+///
+/// let start = Cycle(1_000);
+/// let done = start + Cycle::from_ns(100); // PCM array read
+/// assert_eq!(done, Cycle(1_400));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Largest representable time; useful as an "idle forever" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Converts a duration in nanoseconds to cycles at the 4 GHz clock.
+    ///
+    /// ```
+    /// use sdpcm_engine::Cycle;
+    /// assert_eq!(Cycle::from_ns(100), Cycle(400));
+    /// ```
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Cycle {
+        Cycle(ns * CLOCK_GHZ)
+    }
+
+    /// Converts this cycle count to nanoseconds (rounds down).
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / CLOCK_GHZ
+    }
+
+    /// Returns the later of two times.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two times.
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs` is later.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion_matches_table2() {
+        // Table 2: read 100ns = 400 cycles, SET 200ns = 800 cycles.
+        assert_eq!(Cycle::from_ns(100), Cycle(400));
+        assert_eq!(Cycle::from_ns(200), Cycle(800));
+        assert_eq!(Cycle(400).as_ns(), 100);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycle(3) + Cycle(4), Cycle(7));
+        assert_eq!(Cycle(7) - Cycle(4), Cycle(3));
+        let mut c = Cycle(1);
+        c += Cycle(2);
+        assert_eq!(c, Cycle(3));
+        assert_eq!(Cycle(5).saturating_sub(Cycle(9)), Cycle::ZERO);
+    }
+
+    #[test]
+    fn min_max_and_sum() {
+        assert_eq!(Cycle(3).max(Cycle(9)), Cycle(9));
+        assert_eq!(Cycle(3).min(Cycle(9)), Cycle(3));
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(12).to_string(), "12cyc");
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic time-ordered event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events
+//! by time and breaks ties by insertion sequence number. Deterministic tie
+//! breaking matters: the SD-PCM experiments are all seeded, and two events
+//! scheduled for the same cycle (e.g. two banks completing simultaneously)
+//! must always pop in the same order for runs to be reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycle;
+
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-heap of `(Cycle, E)` pairs with deterministic FIFO tie breaking.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(10), 'b');
+/// q.push(Cycle(10), 'c'); // same time: FIFO order preserved
+/// q.push(Cycle(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at time `at`.
+    pub fn push(&mut self, at: Cycle, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle(5), ());
+        q.push(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle(2)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 'a');
+        q.push(Cycle(1), 'z');
+        assert_eq!(q.pop(), Some((Cycle(1), 'z')));
+        q.push(Cycle(4), 'm');
+        assert_eq!(q.pop(), Some((Cycle(4), 'm')));
+        assert_eq!(q.pop(), Some((Cycle(10), 'a')));
+    }
+}

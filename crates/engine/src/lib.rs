@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation kernel for the SD-PCM reproduction.
+//!
+//! This crate provides the timing, randomness, and bookkeeping substrate
+//! shared by every other crate in the workspace:
+//!
+//! * [`Cycle`] — the global simulated clock (CPU cycles at 4 GHz, per the
+//!   paper's Table 2), with nanosecond conversions.
+//! * [`EventQueue`] — a deterministic time-ordered event queue. Ties are
+//!   broken by insertion order so simulations are bit-for-bit reproducible.
+//! * [`SimRng`] — seeded random-number streams with stable per-component
+//!   derivation, so adding a new consumer of randomness does not perturb
+//!   the draws seen by existing components.
+//! * [`stats`] — counters, running statistics and histograms used to build
+//!   every table and figure of the evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdpcm_engine::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Cycle(400), "read done");
+//! q.push(Cycle(100), "write issued");
+//! assert_eq!(q.pop(), Some((Cycle(100), "write issued")));
+//! assert_eq!(q.pop(), Some((Cycle(400), "read done")));
+//! ```
+
+pub mod clock;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use clock::Cycle;
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, QuantileSketch, RunningStat};
+pub use table::TextTable;

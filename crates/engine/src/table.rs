@@ -1,0 +1,200 @@
+//! Plain-text table formatting for the figure/table harness.
+//!
+//! The benchmark harness regenerates every table and figure of the paper
+//! as aligned plain text; this module is the shared formatter. No external
+//! dependency is needed — rows are strings, columns are padded to the
+//! widest cell.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::TextTable;
+///
+/// let mut t = TextTable::new(&["scheme", "speedup"]);
+/// t.row(&["baseline", "1.00"]);
+/// t.row(&["LazyC", "1.21"]);
+/// let s = t.to_string();
+/// assert!(s.contains("LazyC"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Shorter rows are padded with empty cells; longer
+    /// rows are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut TextTable {
+        let mut r: Vec<String> = cells.iter().map(|s| (*s).to_owned()).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut TextTable {
+        let mut r = cells;
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders labelled values as a horizontal ASCII bar chart, scaled to the
+/// largest value.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::table::bar_chart;
+///
+/// let s = bar_chart(&[("a".into(), 2.0), ("b".into(), 1.0)], 10);
+/// assert!(s.lines().count() == 2);
+/// assert!(s.contains("##########"));
+/// ```
+#[must_use]
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {:<width$}  {v:.3}
+",
+            "#".repeat(n)
+        ));
+    }
+    out
+}
+
+/// Formats a float with 3 decimal places (the harness's default precision).
+#[must_use]
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float as a percentage with one decimal place.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one"]);
+        t.row(&["x", "y", "ignored"]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains("ignored"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.115), "11.5%");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(
+            &[("long-label".into(), 4.0), ("x".into(), 2.0), ("z".into(), 0.0)],
+            8,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(&"#".repeat(8)));
+        assert!(lines[1].contains(&"#".repeat(4)));
+        assert!(!lines[2].contains('#'));
+        assert!(lines[0].starts_with("long-label"));
+    }
+
+    #[test]
+    fn bar_chart_empty_is_empty() {
+        assert_eq!(bar_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(&["h"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains('h'));
+    }
+}

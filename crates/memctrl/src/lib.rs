@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! The SD-PCM memory controller.
+//!
+//! This crate is the heart of the reproduction: a cycle-accurate,
+//! event-driven model of the PCM memory controller with every mechanism
+//! the paper evaluates:
+//!
+//! * **basic VnC** (§3.2) — a write to a super dense line pre-reads both
+//!   bit-line-adjacent lines, writes, post-reads and verifies them, and
+//!   corrects disturbed cells with RESET pulses; corrections can disturb
+//!   *their* neighbours, triggering cascading verification.
+//! * **LazyCorrection** (§4.2) — buffered WD errors live in the line's
+//!   spare ECP entries (on a low-density, WD-free ECP chip); the
+//!   expensive correction fires only when `X + Y > N`, and a normal write
+//!   to the line clears its buffered errors for free.
+//! * **PreRead** (§4.3) — the two pre-write reads are issued while the
+//!   write waits in the queue, using idle bank slots, with forwarding
+//!   when the adjacent line itself sits in the write queue.
+//! * **(n:m)-Alloc support** (§4.4) — the per-request allocator tag and
+//!   the [`sdpcm_osalloc::VerifyPolicy`] decide which
+//!   neighbours need VnC at all.
+//! * **Write cancellation** (§6.8) — reads may cancel an in-flight write
+//!   that has not yet committed to the array; cancelled RESET pulses
+//!   still disturb neighbours, modelling the paper's warning that
+//!   repeated writes amplify WD.
+//!
+//! Organization: [`req`] (requests/completions), [`scheme`] (mechanism
+//! switches), [`stats`] (counters behind Figures 4, 5, 11–19),
+//! [`writejob`] (the multi-phase write state machine), and [`ctrl`] (the
+//! controller: queues, banks, scheduling).
+
+pub mod ctrl;
+pub mod req;
+pub mod scheme;
+pub mod stats;
+pub mod wearlevel;
+pub mod writejob;
+
+pub use ctrl::{CtrlConfig, MemoryController};
+pub use req::{Access, AccessKind, Completion, ReqId};
+pub use scheme::CtrlScheme;
+pub use stats::CtrlStats;
+pub use wearlevel::StartGap;

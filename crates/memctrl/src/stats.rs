@@ -1,0 +1,194 @@
+//! Controller statistics — the raw material of Figures 4, 5 and 11–19.
+
+use sdpcm_engine::{Counter, Cycle, Histogram, QuantileSketch};
+
+/// Cycle totals per operation category, for the Figure 5 overhead split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// Pre-write reads of adjacent lines (inline, not PreRead-hidden).
+    pub pre_reads: Cycle,
+    /// Array writes of demand data.
+    pub array_writes: Cycle,
+    /// Post-write reads of the written line (DIN word-line check).
+    pub own_verifies: Cycle,
+    /// Word-line fix-up rewrites.
+    pub own_fixes: Cycle,
+    /// Post-write reads of adjacent lines (verification proper).
+    pub post_reads: Cycle,
+    /// ECP-chip record writes (LazyCorrection buffering).
+    pub ecp_writes: Cycle,
+    /// Correction RESET writes to adjacent lines.
+    pub corrections: Cycle,
+    /// Reads performed by cascading verification.
+    pub cascade_reads: Cycle,
+}
+
+impl PhaseCycles {
+    /// Verification-side cycles: the pre/post reads every VnC write pays
+    /// regardless of whether errors appeared.
+    #[must_use]
+    pub fn verification_total(&self) -> Cycle {
+        self.pre_reads + self.post_reads
+    }
+
+    /// Correction-side cycles: the work that exists only because errors
+    /// appeared — correction writes, ECP records, and the cascading
+    /// verification reads those corrections trigger (the paper counts
+    /// cascades on the correction side: its Figure 5 correction share
+    /// exceeds the verification share).
+    #[must_use]
+    pub fn correction_total(&self) -> Cycle {
+        self.corrections + self.ecp_writes + self.cascade_reads
+    }
+}
+
+/// All counters kept by the controller.
+#[derive(Debug, Clone)]
+pub struct CtrlStats {
+    /// Demand reads completed.
+    pub reads: Counter,
+    /// Demand reads satisfied by write-queue forwarding.
+    pub read_forwards: Counter,
+    /// Demand writes committed to the array.
+    pub writes: Counter,
+    /// Sum of read latencies (arrival → completion).
+    pub read_latency_total: Cycle,
+    /// Read-latency distribution (log₂-bucketed; p95/p99 reporting).
+    pub read_latency_sketch: QuantileSketch,
+    /// Per-category busy cycles.
+    pub phases: PhaseCycles,
+    /// Correction write operations (Figure 12 counts these per write).
+    pub correction_ops: Counter,
+    /// Cells fixed by correction writes.
+    pub corrected_cells: Counter,
+    /// WD errors buffered into ECP entries (LazyCorrection records).
+    pub ecp_records: Counter,
+    /// Verification reads of adjacent lines (post-reads + cascades).
+    pub verification_ops: Counter,
+    /// Cascade verification rounds entered.
+    pub cascade_rounds: Counter,
+    /// Cascade chains cut by the safety cap (should stay 0).
+    pub cascade_overflows: Counter,
+    /// Writes cancelled by reads (§6.8).
+    pub write_cancellations: Counter,
+    /// Write jobs paused between phases to serve reads.
+    pub write_pauses: Counter,
+    /// Start-Gap moves performed (each is one internal copy write).
+    pub gap_moves: Counter,
+    /// PreRead operations issued during idle bank time.
+    pub prereads_issued: Counter,
+    /// PreReads satisfied by forwarding from the write queue.
+    pub preread_forwards: Counter,
+    /// Bursty write-queue drains triggered.
+    pub drains: Counter,
+    /// Word-line WD errors injected into written lines (Figure 4a).
+    pub wl_errors: Histogram,
+    /// Bit-line WD errors injected per adjacent line per write (Fig. 4b).
+    pub bl_errors_per_neighbor: Histogram,
+    /// New WD errors discovered per verification read.
+    pub errors_per_verification: Histogram,
+}
+
+impl CtrlStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> CtrlStats {
+        CtrlStats {
+            reads: Counter::new(),
+            read_forwards: Counter::new(),
+            writes: Counter::new(),
+            read_latency_total: Cycle::ZERO,
+            read_latency_sketch: QuantileSketch::new(),
+            phases: PhaseCycles::default(),
+            correction_ops: Counter::new(),
+            corrected_cells: Counter::new(),
+            ecp_records: Counter::new(),
+            verification_ops: Counter::new(),
+            cascade_rounds: Counter::new(),
+            cascade_overflows: Counter::new(),
+            write_cancellations: Counter::new(),
+            write_pauses: Counter::new(),
+            gap_moves: Counter::new(),
+            prereads_issued: Counter::new(),
+            preread_forwards: Counter::new(),
+            drains: Counter::new(),
+            wl_errors: Histogram::with_cap(32),
+            bl_errors_per_neighbor: Histogram::with_cap(32),
+            errors_per_verification: Histogram::with_cap(32),
+        }
+    }
+
+    /// Average demand-read latency in cycles.
+    #[must_use]
+    pub fn avg_read_latency(&self) -> f64 {
+        let n = self.reads.get();
+        if n == 0 {
+            0.0
+        } else {
+            self.read_latency_total.0 as f64 / n as f64
+        }
+    }
+
+    /// Correction operations per demand write (Figure 12's metric).
+    #[must_use]
+    pub fn corrections_per_write(&self) -> f64 {
+        self.correction_ops.per(self.writes.get())
+    }
+
+    /// ECP records per demand write.
+    #[must_use]
+    pub fn ecp_records_per_write(&self) -> f64 {
+        self.ecp_records.per(self.writes.get())
+    }
+
+    /// Upper bound of the read-latency `q`-quantile, in cycles.
+    #[must_use]
+    pub fn read_latency_quantile(&self, q: f64) -> u64 {
+        self.read_latency_sketch.quantile(q)
+    }
+}
+
+impl Default for CtrlStats {
+    fn default() -> Self {
+        CtrlStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = CtrlStats::new();
+        s.reads.add(4);
+        s.read_latency_total = Cycle(1600);
+        assert_eq!(s.avg_read_latency(), 400.0);
+        s.writes.add(10);
+        s.correction_ops.add(5);
+        assert_eq!(s.corrections_per_write(), 0.5);
+        s.ecp_records.add(20);
+        assert_eq!(s.ecp_records_per_write(), 2.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = CtrlStats::new();
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.corrections_per_write(), 0.0);
+    }
+
+    #[test]
+    fn phase_totals() {
+        let p = PhaseCycles {
+            pre_reads: Cycle(100),
+            post_reads: Cycle(200),
+            cascade_reads: Cycle(50),
+            corrections: Cycle(30),
+            ecp_writes: Cycle(20),
+            ..PhaseCycles::default()
+        };
+        assert_eq!(p.verification_total(), Cycle(300));
+        assert_eq!(p.correction_total(), Cycle(100));
+    }
+}

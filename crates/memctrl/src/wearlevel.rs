@@ -1,0 +1,288 @@
+//! Start-Gap wear levelling [Qureshi et al., MICRO'09] (paper §7).
+//!
+//! PCM lines wear out; hot lines die first unless writes are spread.
+//! Start-Gap provisions one spare line per region and rotates a *gap*
+//! through the physical slots: every ψ demand writes, the line adjacent
+//! to the gap is copied into it and the gap moves one slot, so every
+//! logical line slowly migrates through every physical slot.
+//!
+//! This module implements the address algebra; the controller performs
+//! the actual copies through its normal write path (so gap-move writes
+//! are subject to write disturbance and VnC like any other write — an
+//! interaction the original proposals never had to consider).
+//!
+//! Composition caveat (documented in DESIGN.md): Start-Gap remaps lines
+//! *physically*, which silently breaks (n:m)-Alloc's assumption that
+//! marked strips stay where the OS put them. The controller therefore
+//! accepts Start-Gap only with the (1:1) allocator.
+//!
+//! State per region of `n` logical lines over `n + 1` physical slots:
+//!
+//! ```text
+//! map(la)  = (la + start) mod n;  if map >= gap { map += 1 }
+//! move:      gap > 0:  copy slot[gap-1] -> slot[gap]; gap -= 1
+//!            gap == 0: copy slot[n]     -> slot[0];   gap = n;
+//!                      start = (start + 1) mod n
+//! ```
+
+/// The Start-Gap state of one region.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_memctrl::wearlevel::StartGap;
+///
+/// let mut sg = StartGap::new(8, 4); // 8 logical lines, move every 4 writes
+/// assert_eq!(sg.map(3), 3); // identity before any move
+/// assert!(sg.note_write().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartGap {
+    n: u64,
+    start: u64,
+    gap: u64,
+    psi: u32,
+    writes: u32,
+    moves: u64,
+}
+
+/// One pending gap move: copy the line at `from` into `to` (physical
+/// slot indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapMove {
+    /// Source physical slot.
+    pub from: u64,
+    /// Destination physical slot (the current gap).
+    pub to: u64,
+}
+
+impl StartGap {
+    /// Creates a region of `n` logical lines (physical slots `0..=n`),
+    /// moving the gap every `psi` demand writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `psi == 0`.
+    #[must_use]
+    pub fn new(n: u64, psi: u32) -> StartGap {
+        assert!(n >= 2, "a region needs at least two lines");
+        assert!(psi > 0, "gap must move eventually");
+        StartGap {
+            n,
+            start: 0,
+            gap: n,
+            psi,
+            writes: 0,
+            moves: 0,
+        }
+    }
+
+    /// Logical lines in the region.
+    #[must_use]
+    pub fn logical_lines(&self) -> u64 {
+        self.n
+    }
+
+    /// Total gap moves performed.
+    #[must_use]
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Maps a logical line to its current physical slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `la >= n`.
+    #[must_use]
+    pub fn map(&self, la: u64) -> u64 {
+        assert!(la < self.n, "logical line out of range");
+        let pa = (la + self.start) % self.n;
+        if pa >= self.gap {
+            pa + 1
+        } else {
+            pa
+        }
+    }
+
+    /// The data movement the *next* gap move will perform.
+    #[must_use]
+    pub fn peek_move(&self) -> GapMove {
+        if self.gap == 0 {
+            GapMove {
+                from: self.n,
+                to: 0,
+            }
+        } else {
+            GapMove {
+                from: self.gap - 1,
+                to: self.gap,
+            }
+        }
+    }
+
+    /// Advances the gap by one slot, returning the copy to perform.
+    /// The mapping returned by [`StartGap::map`] reflects the move
+    /// immediately; the caller must enqueue the copy through a path with
+    /// store-forwarding (so reads of the moving line stay consistent).
+    pub fn advance_gap(&mut self) -> GapMove {
+        let mv = self.peek_move();
+        if self.gap == 0 {
+            self.gap = self.n;
+            self.start = (self.start + 1) % self.n;
+        } else {
+            self.gap -= 1;
+        }
+        self.moves += 1;
+        mv
+    }
+
+    /// Notes one demand write; every ψ-th returns the gap move to
+    /// perform.
+    pub fn note_write(&mut self) -> Option<GapMove> {
+        self.writes += 1;
+        if self.writes >= self.psi {
+            self.writes = 0;
+            Some(self.advance_gap())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Simulates the physical array to confirm mapping and copies agree.
+    struct Sim {
+        sg: StartGap,
+        slots: Vec<Option<u64>>, // physical slot -> logical line stored
+    }
+
+    impl Sim {
+        fn new(n: u64, psi: u32) -> Sim {
+            let sg = StartGap::new(n, psi);
+            let mut slots = vec![None; (n + 1) as usize];
+            for la in 0..n {
+                slots[sg.map(la) as usize] = Some(la);
+            }
+            Sim { sg, slots }
+        }
+
+        fn step(&mut self) {
+            let mv = self.sg.advance_gap();
+            let moved = self.slots[mv.from as usize].take();
+            assert!(moved.is_some(), "gap move from an empty slot");
+            assert!(
+                self.slots[mv.to as usize].is_none(),
+                "gap move into an occupied slot"
+            );
+            self.slots[mv.to as usize] = moved;
+        }
+
+        fn verify(&self) {
+            for la in 0..self.sg.logical_lines() {
+                let pa = self.sg.map(la);
+                assert_eq!(
+                    self.slots[pa as usize],
+                    Some(la),
+                    "line {la} mapped to slot {pa} after {} moves",
+                    self.sg.moves()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_before_first_move() {
+        let sg = StartGap::new(16, 4);
+        for la in 0..16 {
+            assert_eq!(sg.map(la), la);
+        }
+    }
+
+    #[test]
+    fn mapping_is_injective_forever() {
+        let mut sg = StartGap::new(7, 1);
+        for _ in 0..200 {
+            let mapped: HashSet<u64> = (0..7).map(|la| sg.map(la)).collect();
+            assert_eq!(mapped.len(), 7, "mapping collision");
+            assert!(mapped.iter().all(|&p| p <= 7), "slot out of range");
+            let _ = sg.advance_gap();
+        }
+    }
+
+    #[test]
+    fn copies_track_the_mapping_exactly() {
+        // The load-bearing invariant: after every move, the data the
+        // copies produced sits where the mapping points.
+        for n in [2u64, 3, 5, 8, 64] {
+            let mut sim = Sim::new(n, 1);
+            sim.verify();
+            for _ in 0..(3 * (n + 1) * n) {
+                sim.step();
+                sim.verify();
+            }
+        }
+    }
+
+    #[test]
+    fn every_line_visits_every_slot() {
+        // Full wear levelling: over enough moves, each logical line
+        // occupies each physical slot at least once.
+        let n = 6u64;
+        let mut sim = Sim::new(n, 1);
+        let mut visited: Vec<HashSet<u64>> = vec![HashSet::new(); n as usize];
+        for _ in 0..((n + 1) * n * 2) {
+            sim.step();
+            for la in 0..n {
+                visited[la as usize].insert(sim.sg.map(la));
+            }
+        }
+        for (la, slots) in visited.iter().enumerate() {
+            assert_eq!(
+                slots.len(),
+                (n + 1) as usize,
+                "line {la} visited only {:?}",
+                slots
+            );
+        }
+    }
+
+    #[test]
+    fn note_write_fires_every_psi() {
+        let mut sg = StartGap::new(8, 3);
+        let mut moves = 0;
+        for i in 1..=30 {
+            if sg.note_write().is_some() {
+                moves += 1;
+                assert_eq!(i % 3, 0, "move off schedule at write {i}");
+            }
+        }
+        assert_eq!(moves, 10);
+        assert_eq!(sg.moves(), 10);
+    }
+
+    #[test]
+    fn peek_matches_advance() {
+        let mut sg = StartGap::new(5, 1);
+        for _ in 0..40 {
+            let peek = sg.peek_move();
+            assert_eq!(sg.advance_gap(), peek);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_line_panics() {
+        let _ = StartGap::new(4, 1).map(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_region_panics() {
+        let _ = StartGap::new(1, 1);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! WD-aware OS page allocation for the SD-PCM reproduction (paper §4.4).
+//!
+//! SD-PCM's third mechanism, **(n:m)-Alloc**, is an operating-system
+//! policy: use only `n` out of every `m` consecutive device strips and
+//! mark the rest *no-use*. A line whose bit-line neighbour lies in a
+//! no-use strip stores no data there, so the write needs no verification
+//! on that side — trading memory capacity for VnC overhead.
+//!
+//! This crate implements the whole OS story:
+//!
+//! * [`nm`] — the [`nm::NmRatio`] type and the strip-marking
+//!   rule (`strip_index mod m == 1` for the paper's ratios, generalized
+//!   to arbitrary `n:m`), applied independently within each 64 MB block.
+//! * [`policy`] — the hardware-side verification policy of Figure 9:
+//!   from a strip index and the allocator tag, decide which adjacent
+//!   lines need VnC, including the always-verify rules at 64 MB block
+//!   boundaries.
+//! * [`buddy`] — a classic buddy allocator (power-of-two page blocks,
+//!   split/merge).
+//! * [`nmalloc`] — the WD-aware allocator: per-(n:m) free-block-list
+//!   arrays fed with 64 MB blocks from the (1:1) buddy, handing out only
+//!   frames from used strips.
+//! * [`pagetable`] — per-process page tables carrying the 4-bit (n:m)
+//!   allocator tag, plus the TLB that forwards the tag to the memory
+//!   controller.
+//! * [`dma`] — DMA address generation under (1:1)/(1:2) allocation.
+
+pub mod buddy;
+pub mod dma;
+pub mod nm;
+pub mod nmalloc;
+pub mod nmbuddy;
+pub mod pagetable;
+pub mod policy;
+
+pub use nm::NmRatio;
+pub use nmalloc::NmAllocator;
+pub use nmbuddy::NmBuddyAllocator;
+pub use pagetable::{PageTable, Tlb};
+pub use policy::{AdjacentNeed, VerifyPolicy};

@@ -1,0 +1,356 @@
+//! The WD-aware page allocator: (n:m) free-list arrays over the buddy
+//! system (paper §4.4, Figure 10).
+//!
+//! The OS keeps the baseline buddy allocator as `Free-(1:1)`. Each
+//! requested `(n:m)` allocator (n ≠ m) owns a separate pool fed with
+//! 64 MB blocks taken from `Free-(1:1)` (or the device's largest block on
+//! scaled-down test geometries); within those blocks only the strips the
+//! ratio leaves unmarked are ever handed out — marked strips become
+//! internal thermal bands. Freeing returns frames to the pool; when every
+//! usable frame of a feeding block is free again the block is reclaimed
+//! into `Free-(1:1)` (the paper's fragmentation-reduction path).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::buddy::BuddyAllocator;
+use crate::nm::NmRatio;
+use sdpcm_pcm::geometry::{PAGES_PER_STRIP, STRIPS_PER_64MB};
+
+/// Pages per 64 MB block.
+pub const PAGES_PER_64MB: u64 = STRIPS_PER_64MB * PAGES_PER_STRIP as u64;
+
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    span: u64,
+    usable: u64,
+    free: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Pool {
+    /// Free usable frames, lowest first (deterministic).
+    free: BTreeSet<u64>,
+    /// Blocks feeding this pool, keyed by base frame.
+    regions: BTreeMap<u64, Region>,
+}
+
+impl Pool {
+    fn region_of(&mut self, frame: u64) -> Option<(u64, &mut Region)> {
+        let (&base, region) = self.regions.range_mut(..=frame).next_back()?;
+        (frame < base + region.span).then_some((base, region))
+    }
+}
+
+/// The OS page allocator with (n:m) support.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_osalloc::{NmAllocator, NmRatio};
+///
+/// let mut a = NmAllocator::new(1 << 16); // 64K frames = 256 MB
+/// let frames = a.alloc_pages(NmRatio::one_two(), 32).unwrap();
+/// assert_eq!(frames.len(), 32);
+/// // No frame lies in a marked (odd) strip.
+/// assert!(frames.iter().all(|f| (f / 16) % 2 == 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NmAllocator {
+    base: BuddyAllocator,
+    pools: BTreeMap<(u8, u8), Pool>,
+}
+
+impl NmAllocator {
+    /// Creates an allocator over `total_pages` physical frames.
+    #[must_use]
+    pub fn new(total_pages: u64) -> NmAllocator {
+        NmAllocator {
+            base: BuddyAllocator::new(total_pages),
+            pools: BTreeMap::new(),
+        }
+    }
+
+    /// Frames still free in the baseline (1:1) buddy.
+    #[must_use]
+    pub fn base_free_pages(&self) -> u64 {
+        self.base.free_pages()
+    }
+
+    /// Free usable frames currently pooled for `ratio`.
+    #[must_use]
+    pub fn pool_free_pages(&self, ratio: NmRatio) -> u64 {
+        self.pools
+            .get(&(ratio.n(), ratio.m()))
+            .map_or(0, |p| p.free.len() as u64)
+    }
+
+    /// Allocates `count` page frames under `ratio`. Frames are usable
+    /// (never in a marked strip), deterministic, and not necessarily
+    /// physically contiguous — the page table provides the mapping.
+    /// Returns `None` if memory is exhausted (no partial allocation
+    /// leaks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn alloc_pages(&mut self, ratio: NmRatio, count: u64) -> Option<Vec<u64>> {
+        assert!(count > 0, "cannot allocate zero pages");
+        if ratio.n() == ratio.m() {
+            return self.alloc_from_base(count);
+        }
+        let key = (ratio.n(), ratio.m());
+        let mut out = Vec::with_capacity(count as usize);
+        while (out.len() as u64) < count {
+            let next = self
+                .pools
+                .get(&key)
+                .and_then(|p| p.free.iter().next().copied());
+            match next {
+                Some(f) => {
+                    let pool = self.pools.get_mut(&key).expect("pool exists");
+                    pool.free.remove(&f);
+                    let (_, region) = pool.region_of(f).expect("frame belongs to a region");
+                    region.free -= 1;
+                    out.push(f);
+                }
+                None => {
+                    if !self.refill_pool(ratio) {
+                        let frames = std::mem::take(&mut out);
+                        if !frames.is_empty() {
+                            self.free_pages(ratio, &frames);
+                        }
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Returns frames allocated under `ratio` to their pool; fully free
+    /// feeding blocks are merged back into the (1:1) buddy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double free or a frame that was never handed out by
+    /// this allocator/ratio.
+    pub fn free_pages(&mut self, ratio: NmRatio, frames: &[u64]) {
+        if ratio.n() == ratio.m() {
+            for &f in frames {
+                self.base.free(f, 0);
+            }
+            return;
+        }
+        let key = (ratio.n(), ratio.m());
+        let mut reclaim: Vec<(u64, u64)> = Vec::new();
+        {
+            let pool = self.pools.entry(key).or_default();
+            for &f in frames {
+                let Some((base, region)) = pool.region_of(f) else {
+                    panic!("double free or foreign frame {f}");
+                };
+                region.free += 1;
+                let full = region.free == region.usable;
+                let span = region.span;
+                assert!(pool.free.insert(f), "double free of frame {f}");
+                if full {
+                    reclaim.push((base, span));
+                }
+            }
+            for &(base, span) in &reclaim {
+                pool.regions.remove(&base);
+                let in_region: Vec<u64> = pool.free.range(base..base + span).copied().collect();
+                for f in in_region {
+                    pool.free.remove(&f);
+                }
+            }
+        }
+        for (base, span) in reclaim {
+            // Return the block in order-aligned chunks.
+            let mut b = base;
+            while b < base + span {
+                let mut order = 0u8;
+                while b % (1 << (order + 1)) == 0 && b + (1 << (order + 1)) <= base + span {
+                    order += 1;
+                }
+                self.base.free(b, order);
+                b += 1 << order;
+            }
+        }
+    }
+
+    fn alloc_from_base(&mut self, count: u64) -> Option<Vec<u64>> {
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match self.base.alloc(0) {
+                Some(f) => out.push(f),
+                None => {
+                    for &f in &out {
+                        self.base.free(f, 0);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Pulls one 64 MB block (or the largest block the base buddy can
+    /// still supply) from Free-(1:1) into the ratio's pool. Returns
+    /// `false` when the base is exhausted or the block has no usable
+    /// strip.
+    fn refill_pool(&mut self, ratio: NmRatio) -> bool {
+        // 64 MB blocks on real geometry; on scaled-down test devices take
+        // a quarter of the device per refill (at least two strips) so
+        // multiple allocators can coexist.
+        let scaled = (self.base.total_pages() / 4).max(2 * PAGES_PER_STRIP as u64);
+        let want_order = log2_floor(PAGES_PER_64MB.min(scaled).min(self.base.total_pages()));
+        let mut order = want_order;
+        let base = loop {
+            if let Some(b) = self.base.alloc(order) {
+                break b;
+            }
+            if order == 0 {
+                return false;
+            }
+            order -= 1;
+        };
+        let span = 1u64 << order;
+        let pool = self.pools.entry((ratio.n(), ratio.m())).or_default();
+        let mut usable = 0u64;
+        for frame in base..base + span {
+            let strip = frame / PAGES_PER_STRIP as u64;
+            if !ratio.is_nouse_strip(strip) {
+                pool.free.insert(frame);
+                usable += 1;
+            }
+        }
+        pool.regions.insert(
+            base,
+            Region {
+                span,
+                usable,
+                free: usable,
+            },
+        );
+        usable > 0
+    }
+}
+
+fn log2_floor(v: u64) -> u8 {
+    (63 - v.leading_zeros()) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_one_allocates_everything() {
+        let mut a = NmAllocator::new(256);
+        let frames = a.alloc_pages(NmRatio::one_one(), 256).unwrap();
+        assert_eq!(frames.len(), 256);
+        assert!(a.alloc_pages(NmRatio::one_one(), 1).is_none());
+    }
+
+    #[test]
+    fn one_two_skips_odd_strips() {
+        let mut a = NmAllocator::new(1024);
+        let frames = a.alloc_pages(NmRatio::one_two(), 100).unwrap();
+        for f in frames {
+            let strip = f / 16;
+            assert_eq!(strip % 2, 0, "frame {f} in marked strip {strip}");
+        }
+    }
+
+    #[test]
+    fn two_three_skips_position_one() {
+        let mut a = NmAllocator::new(4096);
+        let frames = a.alloc_pages(NmRatio::two_three(), 500).unwrap();
+        for f in frames {
+            let strip = f / 16;
+            assert_ne!(strip % 3, 1, "frame {f} in marked strip {strip}");
+        }
+    }
+
+    #[test]
+    fn capacity_loss_matches_ratio() {
+        // 4096 frames = 256 strips; (1:2) can hand out at most half.
+        let mut a = NmAllocator::new(4096);
+        let got = a.alloc_pages(NmRatio::one_two(), 2048);
+        assert!(got.is_some());
+        assert!(a.alloc_pages(NmRatio::one_two(), 1).is_none());
+    }
+
+    #[test]
+    fn exhaustion_rolls_back() {
+        let mut a = NmAllocator::new(64); // 4 strips; (1:2) usable = 32 frames
+        assert!(a.alloc_pages(NmRatio::one_two(), 33).is_none());
+        // The failed allocation must not leak frames.
+        let ok = a.alloc_pages(NmRatio::one_two(), 32).unwrap();
+        assert_eq!(ok.len(), 32);
+    }
+
+    #[test]
+    fn free_and_reclaim_to_base() {
+        let mut a = NmAllocator::new(128);
+        let before = a.base_free_pages();
+        let frames = a.alloc_pages(NmRatio::one_two(), 8).unwrap();
+        assert!(a.base_free_pages() < before);
+        a.free_pages(NmRatio::one_two(), &frames);
+        // Fully free block returns to the (1:1) buddy.
+        assert_eq!(a.base_free_pages(), before);
+        assert_eq!(a.pool_free_pages(NmRatio::one_two()), 0);
+    }
+
+    #[test]
+    fn partial_free_keeps_region_in_pool() {
+        let mut a = NmAllocator::new(128);
+        let frames = a.alloc_pages(NmRatio::one_two(), 8).unwrap();
+        a.free_pages(NmRatio::one_two(), &frames[..4]);
+        assert!(a.pool_free_pages(NmRatio::one_two()) > 0);
+        // Remaining frames still valid to free afterwards.
+        a.free_pages(NmRatio::one_two(), &frames[4..]);
+        assert_eq!(a.pool_free_pages(NmRatio::one_two()), 0);
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let mut a = NmAllocator::new(8192);
+        let f12 = a.alloc_pages(NmRatio::one_two(), 10).unwrap();
+        let f23 = a.alloc_pages(NmRatio::two_three(), 10).unwrap();
+        for f in &f12 {
+            assert!(!f23.contains(f));
+        }
+    }
+
+    #[test]
+    fn multiple_refills_use_distinct_blocks() {
+        // Device of 4 order-5 blocks; each refill grabs 32 pages.
+        let mut a = NmAllocator::new(128);
+        let lots = a.alloc_pages(NmRatio::one_two(), 60).unwrap();
+        let mut sorted = lots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 60, "no duplicate frames");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = NmAllocator::new(2048);
+        let mut b = NmAllocator::new(2048);
+        assert_eq!(
+            a.alloc_pages(NmRatio::two_three(), 64),
+            b.alloc_pages(NmRatio::two_three(), 64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut a = NmAllocator::new(256);
+        let frames = a.alloc_pages(NmRatio::one_two(), 1).unwrap();
+        a.free_pages(NmRatio::one_two(), &frames);
+        a.free_pages(NmRatio::one_two(), &frames);
+    }
+}

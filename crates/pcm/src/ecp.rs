@@ -1,0 +1,268 @@
+//! Error-Correcting Pointers (ECP) per memory line.
+//!
+//! ECP [Schechter et al., ISCA'10] pairs each 64 B line with `N` pointer
+//! entries; each entry stores a 9-bit cell address plus the 1-bit correct
+//! value (10 bits total). The original proposal targets *hard* (stuck-at)
+//! errors. SD-PCM's **LazyCorrection** (§4.2) reuses spare entries to
+//! buffer *write-disturbance* errors detected in adjacent lines, deferring
+//! the expensive correction RESET until the entries run out:
+//!
+//! * hard errors always have allocation priority;
+//! * WD errors fill whatever remains;
+//! * a correction (or a normal write to the line) clears the WD entries —
+//!   hard-error entries are permanent;
+//! * if hard errors consume the entire table, the line falls back to the
+//!   basic per-write VnC strategy.
+//!
+//! Reads of a line are patched with the recorded values, so a line whose
+//! ECP entries cover all its outstanding errors is never observed in an
+//! erroneous state.
+
+use crate::line::{LineBuf, LINE_BITS};
+
+/// Default number of ECP entries per 64 B line (the paper's ECP-6).
+pub const DEFAULT_ECP_ENTRIES: usize = 6;
+/// Bits written into the ECP chip per recorded error: 9-bit cell address
+/// + 1-bit value (paper §6.7).
+pub const BITS_PER_ECP_RECORD: u64 = 10;
+
+/// What an ECP entry protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EcpKind {
+    /// Permanent stuck-at cell failure.
+    Hard,
+    /// Buffered write-disturbance error (LazyCorrection).
+    Disturb,
+}
+
+/// One correction pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EcpEntry {
+    /// The failed/disturbed cell (`0..512`).
+    pub bit: u16,
+    /// The correct stored value of that cell.
+    pub value: bool,
+    /// Hard failure or buffered disturbance.
+    pub kind: EcpKind,
+}
+
+/// The ECP table of one line.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::ecp::{EcpKind, EcpTable};
+///
+/// let mut t = EcpTable::new(6);
+/// assert_eq!(t.free_slots(), 6);
+/// assert!(t.try_record(3, false, EcpKind::Disturb));
+/// assert_eq!(t.disturb_count(), 1);
+/// t.clear_disturb();
+/// assert_eq!(t.free_slots(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EcpTable {
+    entries: Vec<EcpEntry>,
+    capacity: usize,
+}
+
+impl EcpTable {
+    /// Creates an empty table with room for `capacity` entries (ECP-N).
+    #[must_use]
+    pub fn new(capacity: usize) -> EcpTable {
+        EcpTable {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Total entry slots (N in ECP-N).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unused entry slots.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Number of recorded hard errors.
+    #[must_use]
+    pub fn hard_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EcpKind::Hard)
+            .count()
+    }
+
+    /// Number of buffered WD errors.
+    #[must_use]
+    pub fn disturb_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EcpKind::Disturb)
+            .count()
+    }
+
+    /// All current entries.
+    #[must_use]
+    pub fn entries(&self) -> &[EcpEntry] {
+        &self.entries
+    }
+
+    /// Records an error if a slot is free (or if the same cell is already
+    /// recorded, in which case the entry is updated in place). Returns
+    /// `false` when the table is full — the caller must fall back to an
+    /// immediate correction.
+    ///
+    /// Hard errors may displace a buffered WD entry (hard errors have
+    /// allocation priority, §4.2); the displaced disturbance then needs an
+    /// immediate correction, which the caller detects via
+    /// [`EcpTable::disturb_count`] bookkeeping before/after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not a valid cell index.
+    pub fn try_record(&mut self, bit: u16, value: bool, kind: EcpKind) -> bool {
+        assert!((bit as usize) < LINE_BITS, "cell index out of range");
+        if let Some(e) = self.entries.iter_mut().find(|e| e.bit == bit) {
+            // Same cell already pointed at: refresh value; hard status is
+            // sticky (a disturbed reading of a stuck cell is still stuck).
+            e.value = value;
+            if kind == EcpKind::Hard {
+                e.kind = EcpKind::Hard;
+            }
+            return true;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(EcpEntry { bit, value, kind });
+            return true;
+        }
+        if kind == EcpKind::Hard {
+            // Displace one buffered disturbance in favour of the hard error.
+            if let Some(pos) = self.entries.iter().position(|e| e.kind == EcpKind::Disturb) {
+                self.entries[pos] = EcpEntry { bit, value, kind };
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes all buffered WD entries (after a correction write or a
+    /// normal write to the line) and returns how many were dropped.
+    pub fn clear_disturb(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.kind == EcpKind::Hard);
+        before - self.entries.len()
+    }
+
+    /// The cells currently buffered as disturbed, with their correct
+    /// values (the work list for a correction write).
+    #[must_use]
+    pub fn disturbed_cells(&self) -> Vec<(u16, bool)> {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == EcpKind::Disturb)
+            .map(|e| (e.bit, e.value))
+            .collect()
+    }
+
+    /// Patches raw array data with every recorded correct value — the
+    /// read-path fixup. Hard-error cells and buffered-disturbance cells
+    /// both read back correctly.
+    #[must_use]
+    pub fn patch(&self, raw: &LineBuf) -> LineBuf {
+        let mut out = *raw;
+        for e in &self.entries {
+            out.set_bit(e.bit as usize, e.value);
+        }
+        out
+    }
+
+    /// Whether the given cell is recorded as a hard error.
+    #[must_use]
+    pub fn is_hard(&self, bit: u16) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.bit == bit && e.kind == EcpKind::Hard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_until_full() {
+        let mut t = EcpTable::new(2);
+        assert!(t.try_record(0, false, EcpKind::Disturb));
+        assert!(t.try_record(1, false, EcpKind::Disturb));
+        assert!(!t.try_record(2, false, EcpKind::Disturb));
+        assert_eq!(t.free_slots(), 0);
+    }
+
+    #[test]
+    fn hard_displaces_disturb() {
+        let mut t = EcpTable::new(1);
+        assert!(t.try_record(5, false, EcpKind::Disturb));
+        assert!(t.try_record(9, true, EcpKind::Hard));
+        assert_eq!(t.hard_count(), 1);
+        assert_eq!(t.disturb_count(), 0);
+        // A second hard error finds no WD victim and fails.
+        assert!(!t.try_record(10, false, EcpKind::Hard));
+    }
+
+    #[test]
+    fn duplicate_cell_updates_in_place() {
+        let mut t = EcpTable::new(1);
+        assert!(t.try_record(7, false, EcpKind::Disturb));
+        assert!(t.try_record(7, true, EcpKind::Disturb));
+        assert_eq!(t.entries().len(), 1);
+        assert!(t.entries()[0].value);
+        // Upgrading to hard is sticky.
+        assert!(t.try_record(7, false, EcpKind::Hard));
+        assert!(t.is_hard(7));
+        assert!(t.try_record(7, true, EcpKind::Disturb));
+        assert!(t.is_hard(7), "hard status must not be downgraded");
+    }
+
+    #[test]
+    fn clear_disturb_keeps_hard() {
+        let mut t = EcpTable::new(4);
+        t.try_record(1, false, EcpKind::Hard);
+        t.try_record(2, false, EcpKind::Disturb);
+        t.try_record(3, false, EcpKind::Disturb);
+        assert_eq!(t.clear_disturb(), 2);
+        assert_eq!(t.hard_count(), 1);
+        assert_eq!(t.free_slots(), 3);
+    }
+
+    #[test]
+    fn patch_fixes_reads() {
+        let mut t = EcpTable::new(6);
+        let mut raw = LineBuf::zeroed();
+        raw.set_bit(100, true); // disturbed: should be 0
+        t.try_record(100, false, EcpKind::Disturb);
+        t.try_record(200, true, EcpKind::Hard); // stuck at 0, should be 1
+        let fixed = t.patch(&raw);
+        assert!(!fixed.bit(100));
+        assert!(fixed.bit(200));
+    }
+
+    #[test]
+    fn disturbed_cells_worklist() {
+        let mut t = EcpTable::new(6);
+        t.try_record(1, false, EcpKind::Hard);
+        t.try_record(2, false, EcpKind::Disturb);
+        assert_eq!(t.disturbed_cells(), vec![(2, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cell_index_panics() {
+        let mut t = EcpTable::new(1);
+        t.try_record(512, false, EcpKind::Disturb);
+    }
+}

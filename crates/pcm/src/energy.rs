@@ -1,0 +1,191 @@
+//! PCM energy accounting.
+//!
+//! The paper evaluates performance, capacity and lifetime; energy is the
+//! fourth axis any adopter of a PCM controller asks about, and VnC's
+//! extra array reads and correction RESETs consume real energy. This
+//! module provides per-pulse constants (from the PCM architecture
+//! literature the paper builds on [Lee et al., ISCA'09]) and an
+//! [`EnergyMeter`] the device store charges per operation.
+//!
+//! The interesting output is *relative*: how much energy a mitigation
+//! scheme adds over the WD-free design (see `examples/ablations.rs`).
+
+/// Per-cell pulse energies in picojoules [ISCA'09, Table 4 ballpark].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// One RESET pulse (melt + quench).
+    pub reset_pj: f64,
+    /// One SET pulse (longer, lower current).
+    pub set_pj: f64,
+    /// Array read, per bit sensed.
+    pub read_pj_per_bit: f64,
+}
+
+impl EnergyParams {
+    /// Literature constants: RESET 19.2 pJ, SET 13.5 pJ, read 2.47 pJ/bit.
+    #[must_use]
+    pub fn isca09() -> EnergyParams {
+        EnergyParams {
+            reset_pj: 19.2,
+            set_pj: 13.5,
+            read_pj_per_bit: 2.47,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::isca09()
+    }
+}
+
+/// Accumulated energy, split by purpose so scheme overheads are visible.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::energy::{EnergyMeter, EnergyParams};
+///
+/// let mut e = EnergyMeter::new(EnergyParams::isca09());
+/// e.charge_write(10, 5, false); // 10 SETs + 5 RESETs, demand write
+/// e.charge_read(512, true);     // one verification line read
+/// assert!(e.total_pj() > 0.0);
+/// assert!(e.overhead_pj() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyMeter {
+    params: EnergyParams,
+    demand_pj: f64,
+    overhead_pj: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    #[must_use]
+    pub fn new(params: EnergyParams) -> EnergyMeter {
+        EnergyMeter {
+            params,
+            demand_pj: 0.0,
+            overhead_pj: 0.0,
+        }
+    }
+
+    /// Charges a programming operation; `overhead` marks VnC-induced
+    /// work (corrections, WL fix-ups) as opposed to demand writes.
+    pub fn charge_write(&mut self, sets: u32, resets: u32, overhead: bool) {
+        let pj = f64::from(sets) * self.params.set_pj + f64::from(resets) * self.params.reset_pj;
+        if overhead {
+            self.overhead_pj += pj;
+        } else {
+            self.demand_pj += pj;
+        }
+    }
+
+    /// Charges an array read of `bits` cells; `overhead` marks
+    /// verification reads (pre/post/cascade) as opposed to demand reads.
+    pub fn charge_read(&mut self, bits: u32, overhead: bool) {
+        let pj = f64::from(bits) * self.params.read_pj_per_bit;
+        if overhead {
+            self.overhead_pj += pj;
+        } else {
+            self.demand_pj += pj;
+        }
+    }
+
+    /// Energy of demand traffic (reads + writes the program asked for).
+    #[must_use]
+    pub fn demand_pj(&self) -> f64 {
+        self.demand_pj
+    }
+
+    /// Energy added by the mitigation machinery.
+    #[must_use]
+    pub fn overhead_pj(&self) -> f64 {
+        self.overhead_pj
+    }
+
+    /// Total energy.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.demand_pj + self.overhead_pj
+    }
+
+    /// Overhead as a fraction of demand energy (0 when nothing demanded).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.demand_pj == 0.0 {
+            0.0
+        } else {
+            self.overhead_pj / self.demand_pj
+        }
+    }
+
+    /// Folds another meter into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meters use different parameters.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        assert!(self.params == other.params, "mismatched energy params");
+        self.demand_pj += other.demand_pj;
+        self.overhead_pj += other.overhead_pj;
+    }
+}
+
+impl Default for EnergyMeter {
+    fn default() -> Self {
+        EnergyMeter::new(EnergyParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_energy_splits_by_pulse_kind() {
+        let mut e = EnergyMeter::new(EnergyParams {
+            reset_pj: 10.0,
+            set_pj: 5.0,
+            read_pj_per_bit: 1.0,
+        });
+        e.charge_write(2, 3, false);
+        assert!((e.demand_pj() - (2.0 * 5.0 + 3.0 * 10.0)).abs() < 1e-12);
+        assert_eq!(e.overhead_pj(), 0.0);
+    }
+
+    #[test]
+    fn overhead_classified_separately() {
+        let mut e = EnergyMeter::default();
+        e.charge_write(0, 4, true); // correction
+        e.charge_read(512, true); // verification read
+        e.charge_read(512, false); // demand read
+        assert!(e.overhead_pj() > 0.0);
+        assert!(e.demand_pj() > 0.0);
+        assert!((e.total_pj() - e.demand_pj() - e.overhead_pj()).abs() < 1e-9);
+        assert!(e.overhead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn empty_meter_has_no_overhead_fraction() {
+        let e = EnergyMeter::default();
+        assert_eq!(e.overhead_fraction(), 0.0);
+        assert_eq!(e.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = EnergyMeter::default();
+        a.charge_read(100, false);
+        let mut b = EnergyMeter::default();
+        b.charge_read(100, true);
+        a.merge(&b);
+        assert!(a.demand_pj() > 0.0 && a.overhead_pj() > 0.0);
+    }
+
+    #[test]
+    fn reset_costs_more_than_set() {
+        let p = EnergyParams::isca09();
+        assert!(p.reset_pj > p.set_pj, "RESET melts; SET only crystallizes");
+    }
+}

@@ -1,0 +1,351 @@
+//! Memory geometry and address math.
+//!
+//! The baseline architecture (paper Figure 6, Table 2):
+//!
+//! * 8 GB main memory, one channel, two ranks, eight banks per rank
+//!   (16 banks total).
+//! * One bank row stores one 4 KB logical page, spread across eight data
+//!   chips (each chip row holds 4096 SLC cells) plus one ECP chip.
+//! * A *strip* is the set of rows with the same index across all banks:
+//!   16 consecutive physical page frames. The OS interleaves pages across
+//!   banks, so two physically adjacent rows of one bank hold pages that
+//!   are 16 frames apart.
+//! * A 64 B memory line has 512 SLC cells; 64 lines per row.
+//!
+//! Bit-line adjacency — the crux of the paper — is therefore: line
+//! `(bank, row, slot)` neighbours lines `(bank, row±1, slot)`; in page
+//! terms, frames `p ± 16`.
+
+use std::fmt;
+
+/// Bytes per memory line (64 B cache-line-sized PCM line).
+pub const LINE_BYTES_GEO: usize = 64;
+/// Bytes per device row / logical page (4 KB).
+pub const ROW_BYTES: usize = 4096;
+/// Lines per device row.
+pub const LINES_PER_ROW: usize = ROW_BYTES / LINE_BYTES_GEO;
+/// Pages per strip with the default 16-bank interleaving.
+pub const PAGES_PER_STRIP: usize = 16;
+/// Strips per 64 MB marking block: 64 MB / (16 pages × 4 KB).
+pub const STRIPS_PER_64MB: u64 = (64 * 1024 * 1024) / (PAGES_PER_STRIP as u64 * ROW_BYTES as u64);
+
+/// A bank index within the channel (`0..banks()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(pub u16);
+
+/// A row index within a bank. Row index equals strip index under the
+/// baseline page-interleaved layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId(pub u32);
+
+/// A physical page-frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+/// Fully resolved device address of one 64 B line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr {
+    /// Bank holding the line.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Line slot within the row (`0..LINES_PER_ROW`).
+    pub slot: u8,
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}r{}s{}", self.bank.0, self.row.0, self.slot)
+    }
+}
+
+/// Memory organization parameters.
+///
+/// The defaults reproduce Table 2; tests may shrink `rows_per_bank` to
+/// keep working sets tiny.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::geometry::MemGeometry;
+///
+/// let g = MemGeometry::table2_8gb();
+/// assert_eq!(g.banks(), 16);
+/// assert_eq!(g.total_bytes(), 8 << 30);
+/// let (addr, _) = g.decompose(0x40 * 17); // line 17 of the address space
+/// assert_eq!(addr.slot, 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemGeometry {
+    ranks: u16,
+    banks_per_rank: u16,
+    rows_per_bank: u32,
+}
+
+impl MemGeometry {
+    /// The paper's Table 2 configuration: 8 GB, 2 ranks × 8 banks.
+    #[must_use]
+    pub fn table2_8gb() -> MemGeometry {
+        // 8 GB / 4 KB = 2 Mi pages over 16 banks = 128 Ki rows per bank.
+        MemGeometry {
+            ranks: 2,
+            banks_per_rank: 8,
+            rows_per_bank: 128 * 1024,
+        }
+    }
+
+    /// A reduced geometry for fast tests: same 16-bank structure, fewer
+    /// rows per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_bank` is zero.
+    #[must_use]
+    pub fn small(rows_per_bank: u32) -> MemGeometry {
+        assert!(rows_per_bank > 0, "geometry needs at least one row");
+        MemGeometry {
+            ranks: 2,
+            banks_per_rank: 8,
+            rows_per_bank,
+        }
+    }
+
+    /// Total number of banks in the channel.
+    #[must_use]
+    pub fn banks(&self) -> u16 {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn ranks(&self) -> u16 {
+        self.ranks
+    }
+
+    /// Rows per bank.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// Total physical page frames.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        u64::from(self.banks()) * u64::from(self.rows_per_bank)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * ROW_BYTES as u64
+    }
+
+    /// Number of strips (groups of 16 page frames sharing a row index).
+    #[must_use]
+    pub fn strips(&self) -> u64 {
+        u64::from(self.rows_per_bank)
+    }
+
+    /// Maps a physical page frame to its bank and row (page interleaved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is out of range.
+    #[must_use]
+    pub fn page_to_bank_row(&self, page: PageId) -> (BankId, RowId) {
+        assert!(page.0 < self.total_pages(), "page {page:?} out of range");
+        let banks = u64::from(self.banks());
+        (
+            BankId((page.0 % banks) as u16),
+            RowId((page.0 / banks) as u32),
+        )
+    }
+
+    /// Maps (bank, row) back to the physical page frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bank or row are out of range.
+    #[must_use]
+    pub fn bank_row_to_page(&self, bank: BankId, row: RowId) -> PageId {
+        assert!(bank.0 < self.banks(), "bank {bank:?} out of range");
+        assert!(row.0 < self.rows_per_bank, "row {row:?} out of range");
+        PageId(u64::from(row.0) * u64::from(self.banks()) + u64::from(bank.0))
+    }
+
+    /// Decomposes a byte-granular physical address into a line address and
+    /// the offset within the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the end of memory.
+    #[must_use]
+    pub fn decompose(&self, phys_addr: u64) -> (LineAddr, usize) {
+        assert!(phys_addr < self.total_bytes(), "address out of range");
+        let offset_in_line = (phys_addr % LINE_BYTES_GEO as u64) as usize;
+        let page = PageId(phys_addr / ROW_BYTES as u64);
+        let slot = ((phys_addr % ROW_BYTES as u64) / LINE_BYTES_GEO as u64) as u8;
+        let (bank, row) = self.page_to_bank_row(page);
+        (LineAddr { bank, row, slot }, offset_in_line)
+    }
+
+    /// The line address of the 64 B line holding `phys_addr`.
+    #[must_use]
+    pub fn line_of(&self, phys_addr: u64) -> LineAddr {
+        self.decompose(phys_addr).0
+    }
+
+    /// The bit-line neighbours of a line: same bank and slot, rows `r-1`
+    /// and `r+1`. `None` at the physical edges of the bank.
+    #[must_use]
+    pub fn bitline_neighbors(&self, addr: LineAddr) -> [Option<LineAddr>; 2] {
+        let up = addr.row.0.checked_sub(1).map(|r| LineAddr {
+            row: RowId(r),
+            ..addr
+        });
+        let down = if addr.row.0 + 1 < self.rows_per_bank {
+            Some(LineAddr {
+                row: RowId(addr.row.0 + 1),
+                ..addr
+            })
+        } else {
+            None
+        };
+        [up, down]
+    }
+
+    /// Strip index of a line (equals the row index under interleaving).
+    #[must_use]
+    pub fn strip_of(&self, addr: LineAddr) -> u64 {
+        u64::from(addr.row.0)
+    }
+
+    /// Strip index of a physical page frame.
+    #[must_use]
+    pub fn strip_of_page(&self, page: PageId) -> u64 {
+        let (_, row) = self.page_to_bank_row(page);
+        u64::from(row.0)
+    }
+}
+
+impl Default for MemGeometry {
+    fn default() -> Self {
+        MemGeometry::table2_8gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals() {
+        let g = MemGeometry::table2_8gb();
+        assert_eq!(g.banks(), 16);
+        assert_eq!(g.total_pages(), 2 * 1024 * 1024);
+        assert_eq!(g.total_bytes(), 8 * 1024 * 1024 * 1024);
+        assert_eq!(g.strips(), 128 * 1024);
+    }
+
+    #[test]
+    fn strips_per_64mb_constant() {
+        // 64 MB block = 1024 strips of 16 pages × 4 KB.
+        assert_eq!(STRIPS_PER_64MB, 1024);
+    }
+
+    #[test]
+    fn page_bank_row_roundtrip() {
+        let g = MemGeometry::table2_8gb();
+        for p in [0u64, 1, 15, 16, 17, 12345, g.total_pages() - 1] {
+            let (b, r) = g.page_to_bank_row(PageId(p));
+            assert_eq!(g.bank_row_to_page(b, r), PageId(p));
+        }
+    }
+
+    #[test]
+    fn adjacent_rows_are_16_pages_apart() {
+        // The paper: "an adjacent line is 16 physical frames away".
+        let g = MemGeometry::table2_8gb();
+        let p = PageId(100);
+        let (b, r) = g.page_to_bank_row(p);
+        let below = g.bank_row_to_page(b, RowId(r.0 + 1));
+        assert_eq!(below.0 - p.0, 16);
+    }
+
+    #[test]
+    fn decompose_fields() {
+        let g = MemGeometry::table2_8gb();
+        // Page 16 → bank 0, row 1. Byte 4096*16 + 64*3 + 5.
+        let a = 4096 * 16 + 64 * 3 + 5;
+        let (line, off) = g.decompose(a);
+        assert_eq!(line.bank, BankId(0));
+        assert_eq!(line.row, RowId(1));
+        assert_eq!(line.slot, 3);
+        assert_eq!(off, 5);
+    }
+
+    #[test]
+    fn bitline_neighbors_edges() {
+        let g = MemGeometry::small(4);
+        let top = LineAddr {
+            bank: BankId(2),
+            row: RowId(0),
+            slot: 7,
+        };
+        let [up, down] = g.bitline_neighbors(top);
+        assert!(up.is_none());
+        assert_eq!(down.unwrap().row, RowId(1));
+
+        let bottom = LineAddr {
+            bank: BankId(2),
+            row: RowId(3),
+            slot: 7,
+        };
+        let [up, down] = g.bitline_neighbors(bottom);
+        assert_eq!(up.unwrap().row, RowId(2));
+        assert!(down.is_none());
+    }
+
+    #[test]
+    fn neighbors_preserve_bank_and_slot() {
+        let g = MemGeometry::table2_8gb();
+        let a = LineAddr {
+            bank: BankId(9),
+            row: RowId(500),
+            slot: 33,
+        };
+        for n in g.bitline_neighbors(a).into_iter().flatten() {
+            assert_eq!(n.bank, a.bank);
+            assert_eq!(n.slot, a.slot);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_out_of_range_panics() {
+        let g = MemGeometry::small(2);
+        let _ = g.page_to_bank_row(PageId(g.total_pages()));
+    }
+
+    #[test]
+    fn strip_equals_row() {
+        let g = MemGeometry::table2_8gb();
+        let a = LineAddr {
+            bank: BankId(3),
+            row: RowId(77),
+            slot: 0,
+        };
+        assert_eq!(g.strip_of(a), 77);
+        assert_eq!(g.strip_of_page(PageId(77 * 16 + 3)), 77);
+    }
+
+    #[test]
+    fn display_line_addr() {
+        let a = LineAddr {
+            bank: BankId(1),
+            row: RowId(2),
+            slot: 3,
+        };
+        assert_eq!(a.to_string(), "b1r2s3");
+    }
+}

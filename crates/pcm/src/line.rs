@@ -1,0 +1,400 @@
+//! 64-byte line buffers and differential-write masks.
+//!
+//! SLC PCM convention (paper §2.1): bit `0` is the fully *amorphous*
+//! (high-resistance, RESET) state; bit `1` is the fully *crystalline*
+//! (low-resistance, SET) state. A differential write [Zhou et al., ISCA'09]
+//! compares old and new data and programs only the cells whose value
+//! changes:
+//!
+//! * `1 → 0` requires a **RESET** pulse (melt + quench) — the disturbing
+//!   operation,
+//! * `0 → 1` requires a **SET** pulse — four times cooler, ignored as a
+//!   disturbance source (§2.2.1).
+
+/// Bytes per line.
+pub const LINE_BYTES: usize = 64;
+/// SLC cells (bits) per line.
+pub const LINE_BITS: usize = LINE_BYTES * 8;
+/// 64-bit words per line.
+pub const LINE_WORDS: usize = LINE_BYTES / 8;
+
+/// A 64-byte memory line.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::line::LineBuf;
+///
+/// let mut l = LineBuf::zeroed();
+/// l.set_bit(5, true);
+/// assert!(l.bit(5));
+/// assert_eq!(l.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineBuf {
+    words: [u64; LINE_WORDS],
+}
+
+impl LineBuf {
+    /// All cells amorphous (`0`).
+    #[must_use]
+    pub fn zeroed() -> LineBuf {
+        LineBuf {
+            words: [0; LINE_WORDS],
+        }
+    }
+
+    /// Builds a line from 64 bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; LINE_BYTES]) -> LineBuf {
+        let mut words = [0u64; LINE_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            *w = u64::from_le_bytes(b);
+        }
+        LineBuf { words }
+    }
+
+    /// Builds a line directly from eight 64-bit words (little-endian bit
+    /// order within each word).
+    #[must_use]
+    pub fn from_words(words: [u64; LINE_WORDS]) -> LineBuf {
+        LineBuf { words }
+    }
+
+    /// The line as 64 bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; LINE_BYTES] {
+        let mut out = [0u8; LINE_BYTES];
+        for (i, w) in self.words.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// The underlying words.
+    #[must_use]
+    pub fn words(&self) -> &[u64; LINE_WORDS] {
+        &self.words
+    }
+
+    /// Value of cell `bit` (`0..512`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 512`.
+    #[must_use]
+    pub fn bit(&self, bit: usize) -> bool {
+        assert!(bit < LINE_BITS, "bit index out of range");
+        (self.words[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    /// Sets cell `bit` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 512`.
+    pub fn set_bit(&mut self, bit: usize, value: bool) {
+        assert!(bit < LINE_BITS, "bit index out of range");
+        let mask = 1u64 << (bit % 64);
+        if value {
+            self.words[bit / 64] |= mask;
+        } else {
+            self.words[bit / 64] &= !mask;
+        }
+    }
+
+    /// Number of crystalline (`1`) cells.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// XOR of two lines — the changed-cell mask.
+    #[must_use]
+    pub fn xor(&self, other: &LineBuf) -> LineBuf {
+        let mut words = [0u64; LINE_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words[i] ^ other.words[i];
+        }
+        LineBuf { words }
+    }
+
+    /// Bitwise NOT of the line (used by inversion-based encoders).
+    #[must_use]
+    pub fn not(&self) -> LineBuf {
+        let mut words = [0u64; LINE_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = !self.words[i];
+        }
+        LineBuf { words }
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| BitIter { word: w }.map(move |b| wi * 64 + b))
+    }
+}
+
+impl Default for LineBuf {
+    fn default() -> Self {
+        LineBuf::zeroed()
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+/// The differential-write mask for updating a line: which cells need a
+/// SET pulse and which need a RESET pulse.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::line::{DiffMask, LineBuf};
+///
+/// let old = LineBuf::zeroed();
+/// let mut new = LineBuf::zeroed();
+/// new.set_bit(0, true);
+/// let d = DiffMask::between(&old, &new);
+/// assert_eq!(d.set_count(), 1);
+/// assert_eq!(d.reset_count(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffMask {
+    /// Cells transitioning `0 → 1` (SET pulses).
+    sets: [u64; LINE_WORDS],
+    /// Cells transitioning `1 → 0` (RESET pulses) — the disturbance source.
+    resets: [u64; LINE_WORDS],
+}
+
+impl DiffMask {
+    /// Computes the mask to turn `old` into `new`.
+    #[must_use]
+    pub fn between(old: &LineBuf, new: &LineBuf) -> DiffMask {
+        let mut sets = [0u64; LINE_WORDS];
+        let mut resets = [0u64; LINE_WORDS];
+        for i in 0..LINE_WORDS {
+            let o = old.words[i];
+            let n = new.words[i];
+            sets[i] = !o & n;
+            resets[i] = o & !n;
+        }
+        DiffMask { sets, resets }
+    }
+
+    /// An empty mask (no cell programmed).
+    #[must_use]
+    pub fn empty() -> DiffMask {
+        DiffMask {
+            sets: [0; LINE_WORDS],
+            resets: [0; LINE_WORDS],
+        }
+    }
+
+    /// A mask that RESETs exactly the given cells (used by corrections:
+    /// disturbed cells are in `1` state and must be RESET back to `0`,
+    /// §3.2).
+    #[must_use]
+    pub fn reset_only(bits: &[usize]) -> DiffMask {
+        let mut resets = [0u64; LINE_WORDS];
+        for &b in bits {
+            assert!(b < LINE_BITS, "bit index out of range");
+            resets[b / 64] |= 1 << (b % 64);
+        }
+        DiffMask {
+            sets: [0; LINE_WORDS],
+            resets,
+        }
+    }
+
+    /// Number of SET pulses.
+    #[must_use]
+    pub fn set_count(&self) -> u32 {
+        self.sets.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of RESET pulses.
+    #[must_use]
+    pub fn reset_count(&self) -> u32 {
+        self.resets.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Total programmed cells.
+    #[must_use]
+    pub fn changed_count(&self) -> u32 {
+        self.set_count() + self.reset_count()
+    }
+
+    /// `true` when nothing is programmed (silent write).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changed_count() == 0
+    }
+
+    /// `true` if cell `bit` receives a RESET pulse.
+    #[must_use]
+    pub fn is_reset(&self, bit: usize) -> bool {
+        assert!(bit < LINE_BITS, "bit index out of range");
+        (self.resets[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    /// `true` if cell `bit` receives a SET pulse.
+    #[must_use]
+    pub fn is_set(&self, bit: usize) -> bool {
+        assert!(bit < LINE_BITS, "bit index out of range");
+        (self.sets[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    /// `true` if cell `bit` is programmed either way (not idle).
+    #[must_use]
+    pub fn is_programmed(&self, bit: usize) -> bool {
+        self.is_reset(bit) || self.is_set(bit)
+    }
+
+    /// Iterator over cells receiving RESET pulses.
+    pub fn iter_resets(&self) -> impl Iterator<Item = usize> + '_ {
+        LineBuf { words: self.resets }
+            .iter_ones()
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// The RESET mask as a [`LineBuf`] (1 = cell is RESET).
+    #[must_use]
+    pub fn reset_mask(&self) -> LineBuf {
+        LineBuf { words: self.resets }
+    }
+
+    /// The SET mask as a [`LineBuf`] (1 = cell is SET).
+    #[must_use]
+    pub fn set_mask(&self) -> LineBuf {
+        LineBuf { words: self.sets }
+    }
+
+    /// Applies the mask to a line, returning the post-write contents.
+    #[must_use]
+    pub fn apply(&self, line: &LineBuf) -> LineBuf {
+        let mut words = [0u64; LINE_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = (line.words[i] | self.sets[i]) & !self.resets[i];
+        }
+        LineBuf { words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(seed: u64) -> LineBuf {
+        let mut words = [0u64; LINE_WORDS];
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for w in &mut words {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *w = x;
+        }
+        LineBuf::from_words(words)
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let l = patterned(3);
+        let b = l.to_bytes();
+        assert_eq!(LineBuf::from_bytes(&b), l);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut l = LineBuf::zeroed();
+        for b in [0usize, 63, 64, 511] {
+            l.set_bit(b, true);
+            assert!(l.bit(b));
+            l.set_bit(b, false);
+            assert!(!l.bit(b));
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches_bits() {
+        let l = patterned(7);
+        let from_iter: Vec<usize> = l.iter_ones().collect();
+        let from_scan: Vec<usize> = (0..LINE_BITS).filter(|&b| l.bit(b)).collect();
+        assert_eq!(from_iter, from_scan);
+    }
+
+    #[test]
+    fn diff_partitions_changes() {
+        let old = patterned(1);
+        let new = patterned(2);
+        let d = DiffMask::between(&old, &new);
+        for b in 0..LINE_BITS {
+            match (old.bit(b), new.bit(b)) {
+                (false, true) => assert!(d.is_set(b) && !d.is_reset(b)),
+                (true, false) => assert!(d.is_reset(b) && !d.is_set(b)),
+                _ => assert!(!d.is_programmed(b)),
+            }
+        }
+        assert_eq!(d.changed_count(), old.xor(&new).count_ones());
+    }
+
+    #[test]
+    fn apply_realizes_new_data() {
+        let old = patterned(10);
+        let new = patterned(20);
+        let d = DiffMask::between(&old, &new);
+        assert_eq!(d.apply(&old), new);
+    }
+
+    #[test]
+    fn same_data_is_silent() {
+        let l = patterned(4);
+        let d = DiffMask::between(&l, &l);
+        assert!(d.is_empty());
+        assert_eq!(d.apply(&l), l);
+    }
+
+    #[test]
+    fn reset_only_mask() {
+        let d = DiffMask::reset_only(&[3, 500]);
+        assert_eq!(d.reset_count(), 2);
+        assert_eq!(d.set_count(), 0);
+        let resets: Vec<usize> = d.iter_resets().collect();
+        assert_eq!(resets, vec![3, 500]);
+        // Applying a RESET-only mask clears those cells.
+        let mut l = LineBuf::zeroed();
+        l.set_bit(3, true);
+        l.set_bit(4, true);
+        let after = d.apply(&l);
+        assert!(!after.bit(3));
+        assert!(after.bit(4));
+    }
+
+    #[test]
+    fn not_inverts_everything() {
+        let l = patterned(6);
+        let n = l.not();
+        assert_eq!(n.count_ones() + l.count_ones(), LINE_BITS as u32);
+        assert_eq!(n.not(), l);
+    }
+}

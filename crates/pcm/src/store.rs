@@ -1,0 +1,450 @@
+//! Sparse device store: the actual cell contents of the PCM DIMM.
+//!
+//! Only lines that have been touched by a write, a disturbance, or an
+//! ECP/hard-error event are materialized (64 B of data plus the line's
+//! ECP table and stuck-cell list), so simulating the full 8 GB address
+//! space costs host memory proportional to the set of *written* lines.
+//! Untouched lines read as their [`InitContent`] — all-zero for a fresh
+//! array, or deterministic pseudorandom data modelling a running system.
+//!
+//! The store exposes *device-level* primitives — raw reads, applying a
+//! differential-write mask, crystallizing a disturbed cell, planting hard
+//! errors — and keeps wear accounting. Orchestration (when to verify,
+//! what to correct) lives in the memory-controller crate.
+
+use std::collections::HashMap;
+
+use crate::ecp::{EcpKind, EcpTable};
+use crate::geometry::{LineAddr, MemGeometry, LINES_PER_ROW};
+use crate::line::{DiffMask, LineBuf};
+use crate::wear::{WearMeter, WriteClass};
+
+/// Materialized state of one 64 B line.
+#[derive(Debug, Clone)]
+pub struct LineState {
+    data: LineBuf,
+    ecp: EcpTable,
+    stuck: Vec<(u16, bool)>,
+}
+
+impl LineState {
+    fn new(ecp_entries: usize) -> LineState {
+        LineState {
+            data: LineBuf::zeroed(),
+            ecp: EcpTable::new(ecp_entries),
+            stuck: Vec::new(),
+        }
+    }
+}
+
+/// Initial (pre-first-write) content of the array.
+///
+/// A fresh PCM array is fully amorphous (all zero), but a *running*
+/// system's lines hold program data long before the first simulated
+/// write reaches them (pages are loaded, zeroed, reused). `Pseudorandom`
+/// models that steady state: every untouched line reads as a
+/// deterministic hash of its address, so first writes perform realistic
+/// mixed SET/RESET differential programming instead of all-SET bursts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitContent {
+    /// Fully amorphous array (all cells `0`).
+    Zeroed,
+    /// Deterministic per-address pseudorandom content.
+    Pseudorandom(u64),
+}
+
+/// The sparse cell-array store of the whole DIMM.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::geometry::{BankId, LineAddr, MemGeometry, RowId};
+/// use sdpcm_pcm::line::{DiffMask, LineBuf};
+/// use sdpcm_pcm::store::DeviceStore;
+/// use sdpcm_pcm::wear::WriteClass;
+///
+/// let mut dev = DeviceStore::new(MemGeometry::small(16), 6);
+/// let addr = LineAddr { bank: BankId(0), row: RowId(3), slot: 0 };
+/// let mut data = LineBuf::zeroed();
+/// data.set_bit(42, true);
+/// let diff = DiffMask::between(&dev.raw_line(addr), &data);
+/// dev.apply_write(addr, &diff, WriteClass::Normal);
+/// assert_eq!(dev.read_line(addr), data);
+/// ```
+#[derive(Debug)]
+pub struct DeviceStore {
+    geometry: MemGeometry,
+    ecp_entries: usize,
+    init: InitContent,
+    banks: Vec<HashMap<(u32, u8), LineState>>,
+    wear: WearMeter,
+}
+
+impl DeviceStore {
+    /// Creates an all-zero (fully amorphous) store.
+    #[must_use]
+    pub fn new(geometry: MemGeometry, ecp_entries: usize) -> DeviceStore {
+        DeviceStore::with_init(geometry, ecp_entries, InitContent::Zeroed)
+    }
+
+    /// Creates a store with the given initial-content policy.
+    #[must_use]
+    pub fn with_init(geometry: MemGeometry, ecp_entries: usize, init: InitContent) -> DeviceStore {
+        DeviceStore {
+            geometry,
+            ecp_entries,
+            init,
+            banks: (0..geometry.banks()).map(|_| HashMap::new()).collect(),
+            wear: WearMeter::default(),
+        }
+    }
+
+    /// The initial content of an untouched line.
+    #[must_use]
+    pub fn initial_line(&self, addr: LineAddr) -> LineBuf {
+        match self.init {
+            InitContent::Zeroed => LineBuf::zeroed(),
+            InitContent::Pseudorandom(seed) => {
+                let mut words = [0u64; 8];
+                let base = seed
+                    ^ (u64::from(addr.bank.0) << 48)
+                    ^ (u64::from(addr.row.0) << 8)
+                    ^ u64::from(addr.slot);
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = splitmix64(
+                        base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+                    );
+                }
+                LineBuf::from_words(words)
+            }
+        }
+    }
+
+    /// The geometry this store was built with.
+    #[must_use]
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geometry
+    }
+
+    /// ECP entries per line (N of ECP-N).
+    #[must_use]
+    pub fn ecp_entries(&self) -> usize {
+        self.ecp_entries
+    }
+
+    /// Wear accounting collected so far.
+    #[must_use]
+    pub fn wear(&self) -> &WearMeter {
+        &self.wear
+    }
+
+    /// Mutable wear accounting (for callers that track extra components,
+    /// e.g. ECP-chip record traffic).
+    pub fn wear_mut(&mut self) -> &mut WearMeter {
+        &mut self.wear
+    }
+
+    /// Number of materialized lines (test/diagnostic aid).
+    #[must_use]
+    pub fn materialized_lines(&self) -> usize {
+        self.banks.iter().map(HashMap::len).sum()
+    }
+
+    fn line(&self, addr: LineAddr) -> Option<&LineState> {
+        self.banks[addr.bank.0 as usize].get(&(addr.row.0, addr.slot))
+    }
+
+    fn line_mut(&mut self, addr: LineAddr) -> &mut LineState {
+        debug_assert!(addr.row.0 < self.geometry.rows_per_bank());
+        debug_assert!((addr.slot as usize) < LINES_PER_ROW);
+        let entries = self.ecp_entries;
+        let initial = self.initial_line(addr);
+        self.banks[addr.bank.0 as usize]
+            .entry((addr.row.0, addr.slot))
+            .or_insert_with(|| {
+                let mut l = LineState::new(entries);
+                l.data = initial;
+                l
+            })
+    }
+
+    /// Raw array contents of a line — *without* ECP patching. Untouched
+    /// lines read as their initial content.
+    #[must_use]
+    pub fn raw_line(&self, addr: LineAddr) -> LineBuf {
+        self.line(addr)
+            .map_or_else(|| self.initial_line(addr), |l| l.data)
+    }
+
+    /// Architectural read: raw contents patched by the line's ECP table.
+    /// This is what the memory controller returns to the system.
+    #[must_use]
+    pub fn read_line(&self, addr: LineAddr) -> LineBuf {
+        match self.line(addr) {
+            None => self.initial_line(addr),
+            Some(l) => l.ecp.patch(&l.data),
+        }
+    }
+
+    /// Applies a differential-write mask to the array. Stuck cells retain
+    /// their stuck value regardless of the pulse applied. Returns the
+    /// post-write raw contents.
+    ///
+    /// Wear is charged to `class` (normal data write vs correction).
+    pub fn apply_write(&mut self, addr: LineAddr, diff: &DiffMask, class: WriteClass) -> LineBuf {
+        let line = self.line_mut(addr);
+        let mut after = diff.apply(&line.data);
+        for &(bit, stuck_val) in &line.stuck {
+            after.set_bit(bit as usize, stuck_val);
+        }
+        line.data = after;
+        self.wear
+            .charge_data_bits(u64::from(diff.changed_count()), class);
+        after
+    }
+
+    /// Crystallizes one cell of a line: the write-disturbance effect
+    /// (an idle amorphous cell partially SETs, reading back as `1`).
+    /// Returns whether the cell actually changed state — stuck cells are
+    /// unaffected, and an already-crystalline cell cannot flip again.
+    pub fn inject_disturb(&mut self, addr: LineAddr, bit: u16) -> bool {
+        let line = self.line_mut(addr);
+        if line.stuck.iter().any(|&(b, _)| b == bit) {
+            return false;
+        }
+        if line.data.bit(bit as usize) {
+            return false;
+        }
+        line.data.set_bit(bit as usize, true);
+        true
+    }
+
+    /// Plants a permanent stuck-at fault and records it in the line's ECP
+    /// table (hard errors have allocation priority). Returns `false` if
+    /// the ECP table could not absorb it (table full of hard errors) — the
+    /// line is then unprotected, as in the paper's end-of-life regime.
+    pub fn plant_hard_error(&mut self, addr: LineAddr, bit: u16, stuck_val: bool) -> bool {
+        // The ECP entry must preserve the architectural value the cell
+        // held *before* failing (subsequent writes refresh it via
+        // `refresh_hard_values`), so capture it before forcing the stuck
+        // state onto the array.
+        let correct = {
+            let line = self.line_mut(addr);
+            line.ecp.patch(&line.data).bit(bit as usize)
+        };
+        self.plant_hard_error_with_value(addr, bit, stuck_val, correct)
+    }
+
+    /// Like [`DeviceStore::plant_hard_error`], but with the architectural
+    /// value supplied by the caller — needed when the raw array currently
+    /// holds *known-but-unrecorded* disturbance errors that must not be
+    /// mistaken for data.
+    pub fn plant_hard_error_with_value(
+        &mut self,
+        addr: LineAddr,
+        bit: u16,
+        stuck_val: bool,
+        correct: bool,
+    ) -> bool {
+        let line = self.line_mut(addr);
+        if !line.stuck.iter().any(|&(b, _)| b == bit) {
+            line.stuck.push((bit, stuck_val));
+            line.data.set_bit(bit as usize, stuck_val);
+        }
+        line.ecp.try_record(bit, correct, EcpKind::Hard)
+    }
+
+    /// Refreshes the ECP `value` fields of hard-error entries after a
+    /// write so reads patch stuck cells with the newly written data.
+    ///
+    /// `intended` is the data the write was supposed to store.
+    pub fn refresh_hard_values(&mut self, addr: LineAddr, intended: &LineBuf) {
+        let line = self.line_mut(addr);
+        let stuck = line.stuck.clone();
+        for (bit, _) in stuck {
+            line.ecp
+                .try_record(bit, intended.bit(bit as usize), EcpKind::Hard);
+        }
+    }
+
+    /// A snapshot of a line's ECP table (empty table for untouched
+    /// lines).
+    #[must_use]
+    pub fn ecp(&self, addr: LineAddr) -> EcpTable {
+        self.line(addr)
+            .map_or_else(|| EcpTable::new(self.ecp_entries), |l| l.ecp.clone())
+    }
+
+    /// Mutable access to a line's ECP table (materializes the line).
+    pub fn ecp_mut(&mut self, addr: LineAddr) -> &mut EcpTable {
+        &mut self.line_mut(addr).ecp
+    }
+
+    /// Number of stuck cells planted on a line.
+    #[must_use]
+    pub fn hard_error_count(&self, addr: LineAddr) -> usize {
+        self.line(addr).map_or(0, |l| l.stuck.len())
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{BankId, RowId};
+    use crate::wear::WriteClass;
+
+    fn addr(bank: u16, row: u32, slot: u8) -> LineAddr {
+        LineAddr {
+            bank: BankId(bank),
+            row: RowId(row),
+            slot,
+        }
+    }
+
+    fn store() -> DeviceStore {
+        DeviceStore::new(MemGeometry::small(64), 6)
+    }
+
+    #[test]
+    fn untouched_lines_read_zero() {
+        let dev = store();
+        assert_eq!(dev.read_line(addr(5, 10, 3)), LineBuf::zeroed());
+        assert_eq!(dev.materialized_lines(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut dev = store();
+        let a = addr(1, 2, 3);
+        let mut data = LineBuf::zeroed();
+        data.set_bit(0, true);
+        data.set_bit(511, true);
+        let diff = DiffMask::between(&dev.raw_line(a), &data);
+        dev.apply_write(a, &diff, WriteClass::Normal);
+        assert_eq!(dev.read_line(a), data);
+        assert_eq!(dev.materialized_lines(), 1);
+    }
+
+    #[test]
+    fn reads_do_not_materialize() {
+        let mut dev = store();
+        let _ = dev.read_line(addr(0, 1, 2));
+        let _ = dev.raw_line(addr(0, 1, 3));
+        assert_eq!(dev.materialized_lines(), 0);
+        dev.inject_disturb(addr(0, 1, 2), 5);
+        assert_eq!(dev.materialized_lines(), 1);
+    }
+
+    #[test]
+    fn disturb_flips_idle_zero_to_one() {
+        let mut dev = store();
+        let a = addr(0, 0, 0);
+        dev.inject_disturb(a, 7);
+        assert!(dev.raw_line(a).bit(7));
+        // Not patched: no ECP entry recorded yet, so the read sees it too.
+        assert!(dev.read_line(a).bit(7));
+    }
+
+    #[test]
+    fn ecp_patch_hides_disturbance() {
+        let mut dev = store();
+        let a = addr(0, 0, 0);
+        dev.inject_disturb(a, 7);
+        dev.ecp_mut(a).try_record(7, false, EcpKind::Disturb);
+        assert!(dev.raw_line(a).bit(7), "raw cell stays disturbed");
+        assert!(!dev.read_line(a).bit(7), "architectural read is patched");
+    }
+
+    #[test]
+    fn stuck_cell_ignores_writes_and_disturbs() {
+        let mut dev = store();
+        let a = addr(2, 4, 6);
+        assert!(dev.plant_hard_error(a, 100, false));
+        // Try to SET the stuck cell.
+        let mut data = LineBuf::zeroed();
+        data.set_bit(100, true);
+        let diff = DiffMask::between(&dev.raw_line(a), &data);
+        dev.apply_write(a, &diff, WriteClass::Normal);
+        assert!(!dev.raw_line(a).bit(100), "stuck at 0");
+        // But ECP patches the read once refreshed with the intended data.
+        dev.refresh_hard_values(a, &data);
+        assert!(dev.read_line(a).bit(100));
+        // Disturbance cannot flip it either.
+        dev.inject_disturb(a, 100);
+        assert!(!dev.raw_line(a).bit(100));
+    }
+
+    #[test]
+    fn wear_charged_by_class() {
+        let mut dev = store();
+        let a = addr(0, 1, 0);
+        let mut data = LineBuf::zeroed();
+        for b in 0..10 {
+            data.set_bit(b, true);
+        }
+        let diff = DiffMask::between(&dev.raw_line(a), &data);
+        dev.apply_write(a, &diff, WriteClass::Normal);
+        dev.apply_write(a, &DiffMask::reset_only(&[0, 1]), WriteClass::Correction);
+        assert_eq!(dev.wear().data_bits_normal(), 10);
+        assert_eq!(dev.wear().data_bits_correction(), 2);
+    }
+
+    #[test]
+    fn hard_error_count_tracks_plants() {
+        let mut dev = store();
+        let a = addr(3, 3, 3);
+        dev.plant_hard_error(a, 1, true);
+        dev.plant_hard_error(a, 2, false);
+        dev.plant_hard_error(a, 2, false); // duplicate ignored
+        assert_eq!(dev.hard_error_count(a), 2);
+        assert_eq!(dev.ecp(a).hard_count(), 2);
+    }
+
+    #[test]
+    fn pseudorandom_init_is_deterministic_and_consistent() {
+        let dev = DeviceStore::with_init(MemGeometry::small(64), 6, InitContent::Pseudorandom(7));
+        let a = addr(1, 2, 3);
+        let first = dev.read_line(a);
+        assert_eq!(dev.read_line(a), first);
+        assert_eq!(dev.raw_line(a), first);
+        assert_ne!(first, LineBuf::zeroed());
+        // Different addresses get different content.
+        assert_ne!(dev.read_line(addr(1, 2, 4)), first);
+        // Different seeds differ.
+        let dev2 = DeviceStore::with_init(MemGeometry::small(64), 6, InitContent::Pseudorandom(8));
+        assert_ne!(dev2.read_line(a), first);
+    }
+
+    #[test]
+    fn writes_over_pseudorandom_content_diff_correctly() {
+        let mut dev =
+            DeviceStore::with_init(MemGeometry::small(64), 6, InitContent::Pseudorandom(7));
+        let a = addr(0, 1, 1);
+        let target = LineBuf::zeroed();
+        let diff = DiffMask::between(&dev.raw_line(a), &target);
+        assert!(diff.reset_count() > 100, "random content has many ones");
+        dev.apply_write(a, &diff, WriteClass::Normal);
+        assert_eq!(dev.read_line(a), target);
+    }
+
+    #[test]
+    fn lines_of_same_row_are_independent() {
+        let mut dev = store();
+        let a = addr(1, 5, 0);
+        let b = addr(1, 5, 1);
+        let mut data = LineBuf::zeroed();
+        data.set_bit(3, true);
+        let diff = DiffMask::between(&dev.raw_line(a), &data);
+        dev.apply_write(a, &diff, WriteClass::Normal);
+        assert_eq!(dev.read_line(b), LineBuf::zeroed());
+        assert_eq!(dev.materialized_lines(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! PCM operation latencies (paper Table 2).
+//!
+//! * array read: 100 ns = 400 cycles,
+//! * SET pulse: 200 ns = 800 cycles,
+//! * RESET pulse: 100 ns = 400 cycles,
+//! * at most 128 SLC cells programmed in parallel (write-driver / power
+//!   limit), so large differential writes proceed in waves.
+//!
+//! The 128 write drivers fire concurrently, so one wave of mixed pulses
+//! costs the longest pulse in it: `ceil(changed/128) · t_SET` when any
+//! cell needs a SET, `ceil(changed/128) · t_RESET` for RESET-only
+//! updates (e.g. corrections). A write with no changed cell still pays
+//! one RESET time (the array must be accessed to discover this at the
+//! device level; with the controller-side diff this case is rare).
+
+use crate::line::DiffMask;
+use sdpcm_engine::Cycle;
+
+/// Latency/parallelism parameters of the PCM array.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::timing::PcmTiming;
+/// use sdpcm_pcm::line::{DiffMask, LineBuf};
+///
+/// let t = PcmTiming::table2();
+/// let mut new = LineBuf::zeroed();
+/// new.set_bit(0, true);
+/// let d = DiffMask::between(&LineBuf::zeroed(), &new); // one SET
+/// assert_eq!(t.write_latency(&d).0, 800);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcmTiming {
+    /// Array read latency.
+    pub read: Cycle,
+    /// One SET wave.
+    pub set_pulse: Cycle,
+    /// One RESET wave.
+    pub reset_pulse: Cycle,
+    /// Cells programmable in parallel.
+    pub parallel_writes: u32,
+}
+
+impl PcmTiming {
+    /// The paper's Table 2 values at a 4 GHz core clock.
+    #[must_use]
+    pub fn table2() -> PcmTiming {
+        PcmTiming {
+            read: Cycle(400),
+            set_pulse: Cycle(800),
+            reset_pulse: Cycle(400),
+            parallel_writes: 128,
+        }
+    }
+
+    /// Latency of a differential write described by `diff`.
+    #[must_use]
+    pub fn write_latency(&self, diff: &DiffMask) -> Cycle {
+        let total = diff.changed_count();
+        if total == 0 {
+            return self.reset_pulse; // silent write still occupies the bank
+        }
+        let wave = if diff.set_count() > 0 {
+            self.set_pulse
+        } else {
+            self.reset_pulse
+        };
+        Cycle(waves(total, self.parallel_writes) * wave.0)
+    }
+
+    /// Latency of a correction write: disturbed cells are all in the `1`
+    /// state and need RESET pulses only (§3.2).
+    #[must_use]
+    pub fn correction_latency(&self, cells: u32) -> Cycle {
+        let w = waves(cells, self.parallel_writes).max(1);
+        Cycle(w * self.reset_pulse.0)
+    }
+}
+
+impl Default for PcmTiming {
+    fn default() -> Self {
+        PcmTiming::table2()
+    }
+}
+
+fn waves(cells: u32, parallel: u32) -> u64 {
+    u64::from(cells.div_ceil(parallel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineBuf;
+
+    fn diff_with(sets: usize, resets: usize) -> DiffMask {
+        let mut old = LineBuf::zeroed();
+        let mut new = LineBuf::zeroed();
+        for b in 0..sets {
+            new.set_bit(b, true); // 0 -> 1
+        }
+        for b in sets..sets + resets {
+            old.set_bit(b, true); // 1 -> 0
+        }
+        DiffMask::between(&old, &new)
+    }
+
+    #[test]
+    fn single_wave_latencies() {
+        let t = PcmTiming::table2();
+        assert_eq!(t.write_latency(&diff_with(1, 0)), Cycle(800));
+        assert_eq!(t.write_latency(&diff_with(0, 1)), Cycle(400));
+        // Mixed wave: drivers fire concurrently, SET dominates.
+        assert_eq!(t.write_latency(&diff_with(10, 10)), Cycle(800));
+    }
+
+    #[test]
+    fn multi_wave_latency() {
+        let t = PcmTiming::table2();
+        // 329 changed cells = 3 waves of up to 128; SET present.
+        assert_eq!(t.write_latency(&diff_with(200, 129)), Cycle(3 * 800));
+        // RESET-only multi-wave.
+        assert_eq!(t.write_latency(&diff_with(0, 150)), Cycle(2 * 400));
+    }
+
+    #[test]
+    fn silent_write_still_costs() {
+        let t = PcmTiming::table2();
+        assert_eq!(t.write_latency(&DiffMask::empty()), Cycle(400));
+    }
+
+    #[test]
+    fn correction_is_reset_only() {
+        let t = PcmTiming::table2();
+        assert_eq!(t.correction_latency(0), Cycle(400));
+        assert_eq!(t.correction_latency(2), Cycle(400));
+        assert_eq!(t.correction_latency(129), Cycle(800));
+    }
+}

@@ -1,0 +1,235 @@
+//! Address-stream generators.
+//!
+//! Each benchmark walks its (virtual, per-core) working set with one of
+//! four spatial patterns. Streams address at line granularity: a position
+//! is `(virtual page, line slot within the page)` with 64 lines per page.
+
+use sdpcm_engine::SimRng;
+
+/// Lines per 4 KB page.
+pub const LINES_PER_PAGE: u64 = 64;
+
+/// Spatial access pattern of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Sequential sweep; jumps to a random position every `run_lines`.
+    Sequential {
+        /// Lines touched consecutively before the next jump.
+        run_lines: u32,
+    },
+    /// Fixed-stride walk (stencil-style), wrapping around the working set.
+    Strided {
+        /// Stride between consecutive references, in lines.
+        stride_lines: u32,
+    },
+    /// Uniformly random lines (pointer chasing).
+    Random,
+    /// A hot subset absorbs most references.
+    HotCold {
+        /// Fraction of the working set that is hot.
+        hot_fraction: f64,
+        /// Probability a reference goes to the hot subset.
+        hot_probability: f64,
+    },
+}
+
+/// A stateful line-address stream over `ws_pages` virtual pages.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::SimRng;
+/// use sdpcm_trace::addr::{AccessPattern, AddressStream};
+///
+/// let rng = SimRng::from_seed(9);
+/// let mut s = AddressStream::new(AccessPattern::Random, 16, rng);
+/// let (page, slot) = s.next_line();
+/// assert!(page < 16 && slot < 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressStream {
+    pattern: AccessPattern,
+    ws_pages: u64,
+    rng: SimRng,
+    cursor: u64,
+    run_left: u32,
+}
+
+impl AddressStream {
+    /// Creates a stream over `ws_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws_pages` is zero or pattern parameters are invalid.
+    #[must_use]
+    pub fn new(pattern: AccessPattern, ws_pages: u64, mut rng: SimRng) -> AddressStream {
+        assert!(ws_pages > 0, "working set must be non-empty");
+        if let AccessPattern::HotCold {
+            hot_fraction,
+            hot_probability,
+        } = pattern
+        {
+            assert!(
+                hot_fraction > 0.0 && hot_fraction <= 1.0,
+                "hot fraction must be in (0,1]"
+            );
+            assert!(
+                (0.0..=1.0).contains(&hot_probability),
+                "hot probability must be in [0,1]"
+            );
+        }
+        if let AccessPattern::Sequential { run_lines } = pattern {
+            assert!(run_lines > 0, "run length must be positive");
+        }
+        if let AccessPattern::Strided { stride_lines } = pattern {
+            assert!(stride_lines > 0, "stride must be positive");
+        }
+        let total_lines = ws_pages * LINES_PER_PAGE;
+        let cursor = rng.below(total_lines);
+        AddressStream {
+            pattern,
+            ws_pages,
+            rng,
+            cursor,
+            run_left: 0,
+        }
+    }
+
+    /// Total addressable lines in the working set.
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        self.ws_pages * LINES_PER_PAGE
+    }
+
+    /// Produces the next `(virtual page, line slot)` reference.
+    pub fn next_line(&mut self) -> (u64, u8) {
+        let total = self.total_lines();
+        let line = match self.pattern {
+            AccessPattern::Sequential { run_lines } => {
+                if self.run_left == 0 {
+                    self.cursor = self.rng.below(total);
+                    self.run_left = run_lines;
+                }
+                self.run_left -= 1;
+                let l = self.cursor;
+                self.cursor = (self.cursor + 1) % total;
+                l
+            }
+            AccessPattern::Strided { stride_lines } => {
+                let l = self.cursor;
+                self.cursor = (self.cursor + u64::from(stride_lines)) % total;
+                l
+            }
+            AccessPattern::Random => self.rng.below(total),
+            AccessPattern::HotCold {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot_lines = ((total as f64 * hot_fraction) as u64).max(1);
+                if self.rng.chance(hot_probability) {
+                    self.rng.below(hot_lines)
+                } else {
+                    hot_lines + self.rng.below((total - hot_lines).max(1)) % total.max(1)
+                }
+            }
+        };
+        let line = line % total;
+        ((line / LINES_PER_PAGE), (line % LINES_PER_PAGE) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(p: AccessPattern, pages: u64) -> AddressStream {
+        AddressStream::new(p, pages, SimRng::from_seed_label(3, "addr-test"))
+    }
+
+    #[test]
+    fn all_patterns_stay_in_bounds() {
+        let patterns = [
+            AccessPattern::Sequential { run_lines: 10 },
+            AccessPattern::Strided { stride_lines: 7 },
+            AccessPattern::Random,
+            AccessPattern::HotCold {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+        ];
+        for p in patterns {
+            let mut s = stream(p, 8);
+            for _ in 0..10_000 {
+                let (page, slot) = s.next_line();
+                assert!(page < 8);
+                assert!(u64::from(slot) < LINES_PER_PAGE);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_runs_are_consecutive() {
+        let mut s = stream(AccessPattern::Sequential { run_lines: 100 }, 16);
+        let (p0, s0) = s.next_line();
+        let first = p0 * LINES_PER_PAGE + u64::from(s0);
+        for i in 1..50u64 {
+            let (p, sl) = s.next_line();
+            let line = p * LINES_PER_PAGE + u64::from(sl);
+            assert_eq!(line, (first + i) % s.total_lines());
+        }
+    }
+
+    #[test]
+    fn strided_walk_has_fixed_stride() {
+        let mut s = stream(AccessPattern::Strided { stride_lines: 5 }, 4);
+        let mut last = None;
+        for _ in 0..100 {
+            let (p, sl) = s.next_line();
+            let line = p * LINES_PER_PAGE + u64::from(sl);
+            if let Some(prev) = last {
+                assert_eq!(line, (prev + 5) % s.total_lines());
+            }
+            last = Some(line);
+        }
+    }
+
+    #[test]
+    fn hotcold_prefers_hot_subset() {
+        let mut s = stream(
+            AccessPattern::HotCold {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+            100,
+        );
+        let hot_lines = (s.total_lines() as f64 * 0.1) as u64;
+        let mut hot_hits = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let (p, sl) = s.next_line();
+            if p * LINES_PER_PAGE + u64::from(sl) < hot_lines {
+                hot_hits += 1;
+            }
+        }
+        let rate = f64::from(hot_hits) / f64::from(n);
+        assert!(rate > 0.85, "hot rate={rate}");
+    }
+
+    #[test]
+    fn random_covers_the_working_set() {
+        let mut s = stream(AccessPattern::Random, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            seen.insert(s.next_line());
+        }
+        // 4 pages × 64 lines = 256 distinct positions; random should
+        // reach nearly all of them.
+        assert!(seen.len() > 250, "covered {}", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_working_set_panics() {
+        let _ = stream(AccessPattern::Random, 0);
+    }
+}

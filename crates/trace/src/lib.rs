@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generation for the SD-PCM reproduction.
+//!
+//! The paper drives its simulator with PIN-captured main-memory reference
+//! traces of SPEC2006 and STREAM programs (10 M post-cache references per
+//! workload, Table 3 lists each program's RPKI/WPKI). Those traces are
+//! not redistributable, so this crate substitutes *statistical trace
+//! generators* calibrated to the published per-benchmark read/write
+//! intensities, with documented locality and bit-change knobs:
+//!
+//! * [`profiles`] — one [`profiles::BenchmarkProfile`]
+//!   per program with the exact Table 3 RPKI/WPKI, an access pattern, a
+//!   (scaled) working-set size, and the mean number of bits a write
+//!   flips (gemsFDTD, for example, "changes less bits per write", §6.4).
+//! * [`addr`] — address-stream generators: sequential, strided, uniform
+//!   random and hot/cold mixtures over a per-core virtual page range.
+//! * [`gen`] — the reference generator: an iterator of
+//!   [`gen::MemRef`]s with geometric inter-arrival gaps matching
+//!   `1000 / (RPKI + WPKI)` instructions between references.
+//! * [`workload`] — multi-programmed workloads: eight cores each running
+//!   one copy of a program in its own address space, as in §5.2.
+//!
+//! What the substitution preserves: relative read/write intensity, bank
+//! pressure, spatial locality class, and differential-write sizes — the
+//! properties the evaluated schemes are sensitive to. Absolute IPC is not
+//! comparable to the paper's (see `EXPERIMENTS.md`).
+
+pub mod addr;
+pub mod gen;
+pub mod profiles;
+pub mod stream;
+pub mod workload;
+
+pub use addr::{AccessPattern, AddressStream};
+pub use gen::{MemRef, TraceGenerator};
+pub use profiles::{BenchKind, BenchmarkProfile};
+pub use stream::StreamKernels;
+pub use workload::Workload;

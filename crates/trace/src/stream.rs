@@ -1,0 +1,275 @@
+//! The actual STREAM kernels (copy / scale / add / triad) as an exact
+//! access-pattern generator.
+//!
+//! [`crate::gen::TraceGenerator`] drives the figures with the
+//! *statistical* profile of Table 3 (2.32 RPKI / 2.32 WPKI). This module
+//! provides the structural alternative: three equal arrays `A`, `B`, `C`
+//! walked by the four kernels in STREAM's canonical order,
+//!
+//! ```text
+//! copy : C[i] = A[i]            read A,   write C
+//! scale: B[i] = s·C[i]          read C,   write B
+//! add  : C[i] = A[i] + B[i]     read A+B, write C
+//! triad: A[i] = B[i] + s·C[i]   read B+C, write A
+//! ```
+//!
+//! emitting one [`MemRef`] per 64 B line touched. Useful for driving the
+//! controller with perfectly sequential multi-stream traffic (bank
+//! conflicts, PreRead idle structure); note its read:write ratio is 3:2
+//! (add/triad read two arrays), slightly above Table 3's 1:1.
+
+use sdpcm_engine::SimRng;
+
+use crate::addr::LINES_PER_PAGE;
+use crate::gen::MemRef;
+
+/// Which STREAM kernel an operation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `C[i] = A[i]`
+    Copy,
+    /// `B[i] = s·C[i]`
+    Scale,
+    /// `C[i] = A[i] + B[i]`
+    Add,
+    /// `A[i] = B[i] + s·C[i]`
+    Triad,
+}
+
+impl Kernel {
+    /// STREAM's canonical kernel order.
+    pub const ORDER: [Kernel; 4] = [Kernel::Copy, Kernel::Scale, Kernel::Add, Kernel::Triad];
+
+    /// `(source arrays, destination array)` as indices 0=A, 1=B, 2=C.
+    #[must_use]
+    pub fn operands(self) -> (&'static [usize], usize) {
+        match self {
+            Kernel::Copy => (&[0], 2),
+            Kernel::Scale => (&[2], 1),
+            Kernel::Add => (&[0, 1], 2),
+            Kernel::Triad => (&[1, 2], 0),
+        }
+    }
+}
+
+/// Generator of the exact STREAM reference stream for one core.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::SimRng;
+/// use sdpcm_trace::stream::StreamKernels;
+///
+/// let mut s = StreamKernels::new(0, 64, 20, SimRng::from_seed(3));
+/// let first = s.next_ref();
+/// assert!(!first.is_write, "copy starts by reading A");
+/// assert_eq!(first.vpage, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamKernels {
+    core: u8,
+    array_lines: u64,
+    gap_mean: f64,
+    rng: SimRng,
+    kernel: usize,
+    element: u64,
+    op: usize,
+}
+
+impl StreamKernels {
+    /// Creates a generator over three arrays of `array_pages` pages each
+    /// (virtual pages `[0, 3·array_pages)`), with a mean instruction gap
+    /// of `gap_mean` between references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array_pages` is zero.
+    #[must_use]
+    pub fn new(core: u8, array_pages: u64, gap_mean: u64, rng: SimRng) -> StreamKernels {
+        assert!(array_pages > 0, "arrays need at least one page");
+        StreamKernels {
+            core,
+            array_lines: array_pages * LINES_PER_PAGE,
+            gap_mean: gap_mean.max(1) as f64,
+            rng,
+            kernel: 0,
+            element: 0,
+            op: 0,
+        }
+    }
+
+    /// Total virtual pages the three arrays occupy.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        3 * self.array_lines / LINES_PER_PAGE
+    }
+
+    /// The kernel currently executing.
+    #[must_use]
+    pub fn current_kernel(&self) -> Kernel {
+        Kernel::ORDER[self.kernel]
+    }
+
+    fn addr_of(&self, array: usize, line: u64) -> (u64, u8) {
+        let abs = array as u64 * self.array_lines + line;
+        (abs / LINES_PER_PAGE, (abs % LINES_PER_PAGE) as u8)
+    }
+
+    /// Produces the next reference of the kernel walk.
+    pub fn next_ref(&mut self) -> MemRef {
+        let kernel = Kernel::ORDER[self.kernel];
+        let (sources, dest) = kernel.operands();
+        let gap = self.rng.geometric(1.0 / self.gap_mean) + 1;
+        let (is_write, array) = if self.op < sources.len() {
+            (false, sources[self.op])
+        } else {
+            (true, dest)
+        };
+        let (vpage, slot) = self.addr_of(array, self.element);
+        let flip_bits = if is_write {
+            // STREAM stores fresh floating-point values: most mantissa
+            // bits change.
+            self.rng.poisson(96.0).clamp(1, 512) as u16
+        } else {
+            0
+        };
+
+        // Advance the walk: ops within an element, elements within a
+        // kernel, kernels in rotation.
+        self.op += 1;
+        if self.op > sources.len() {
+            self.op = 0;
+            self.element += 1;
+            if self.element == self.array_lines {
+                self.element = 0;
+                self.kernel = (self.kernel + 1) % Kernel::ORDER.len();
+            }
+        }
+
+        MemRef {
+            core: self.core,
+            gap,
+            is_write,
+            vpage,
+            slot,
+            flip_bits,
+        }
+    }
+}
+
+impl Iterator for StreamKernels {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        Some(self.next_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pages: u64) -> StreamKernels {
+        StreamKernels::new(1, pages, 10, SimRng::from_seed_label(8, "stream-test"))
+    }
+
+    #[test]
+    fn copy_reads_a_then_writes_c() {
+        let mut s = gen(4);
+        let r = s.next_ref();
+        assert!(!r.is_write);
+        assert_eq!(r.vpage, 0, "A starts at page 0");
+        let w = s.next_ref();
+        assert!(w.is_write);
+        assert_eq!(w.vpage, 8, "C starts after A and B (2 × 4 pages)");
+        assert_eq!(r.slot, w.slot);
+    }
+
+    #[test]
+    fn kernels_rotate_in_canonical_order() {
+        let mut s = gen(1); // 64 lines per array
+        assert_eq!(s.current_kernel(), Kernel::Copy);
+        // copy = 2 ops × 64 elements.
+        for _ in 0..128 {
+            let _ = s.next_ref();
+        }
+        assert_eq!(s.current_kernel(), Kernel::Scale);
+        for _ in 0..128 {
+            let _ = s.next_ref();
+        }
+        assert_eq!(s.current_kernel(), Kernel::Add);
+        // add = 3 ops × 64 elements.
+        for _ in 0..192 {
+            let _ = s.next_ref();
+        }
+        assert_eq!(s.current_kernel(), Kernel::Triad);
+        for _ in 0..192 {
+            let _ = s.next_ref();
+        }
+        assert_eq!(s.current_kernel(), Kernel::Copy, "full rotation");
+    }
+
+    #[test]
+    fn read_write_ratio_is_three_to_two() {
+        let mut s = gen(2);
+        let mut reads = 0u32;
+        let mut writes = 0u32;
+        // One full rotation = (2+2+3+3) ops × 128 elements.
+        for _ in 0..(10 * 128) {
+            if s.next_ref().is_write {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+        }
+        assert_eq!(reads, 6 * 128);
+        assert_eq!(writes, 4 * 128);
+    }
+
+    #[test]
+    fn addresses_stay_within_three_arrays() {
+        let mut s = gen(4);
+        for _ in 0..5_000 {
+            let r = s.next_ref();
+            assert!(r.vpage < s.total_pages());
+        }
+    }
+
+    #[test]
+    fn writes_per_element_target_the_kernel_destination() {
+        let mut s = gen(1);
+        // Triad writes A (array 0): skip to triad.
+        for _ in 0..(2 + 2 + 3) * 64 {
+            let _ = s.next_ref();
+        }
+        assert_eq!(s.current_kernel(), Kernel::Triad);
+        let r1 = s.next_ref(); // read B
+        let r2 = s.next_ref(); // read C
+        let w = s.next_ref(); // write A
+        assert!(!r1.is_write && !r2.is_write && w.is_write);
+        assert_eq!(w.vpage, 0, "triad writes array A");
+    }
+
+    #[test]
+    fn sequential_within_each_array() {
+        let mut s = gen(2);
+        let mut last_a_line = None;
+        for _ in 0..256 {
+            let r = s.next_ref();
+            if !r.is_write && r.vpage < 2 {
+                let line = r.vpage * LINES_PER_PAGE + u64::from(r.slot);
+                if let Some(prev) = last_a_line {
+                    assert_eq!(line, prev + 1, "A is walked sequentially");
+                }
+                last_a_line = Some(line);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<MemRef> = gen(2).take(500).collect();
+        let b: Vec<MemRef> = gen(2).take(500).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Multi-programmed workload assembly.
+//!
+//! §5.2: "each core runs one copy of these applications, forming
+//! multi-programming workloads running in different virtual address
+//! spaces". A [`Workload`] bundles the eight per-core generators; the
+//! full-system simulator asks it for per-core streams and for the
+//! per-core page demand (used to size the OS allocation).
+
+use sdpcm_engine::SimRng;
+
+use crate::gen::TraceGenerator;
+use crate::profiles::{BenchKind, BenchmarkProfile};
+
+/// Cores in the baseline CMP (Table 2).
+pub const CORES: usize = 8;
+
+/// An 8-core multi-programmed workload.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::SimRng;
+/// use sdpcm_trace::{BenchKind, Workload};
+///
+/// let w = Workload::homogeneous(BenchKind::Lbm);
+/// let gens = w.generators(SimRng::from_seed(3));
+/// assert_eq!(gens.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: String,
+    per_core: Vec<BenchmarkProfile>,
+}
+
+impl Workload {
+    /// Eight copies of one benchmark (the paper's configuration).
+    #[must_use]
+    pub fn homogeneous(kind: BenchKind) -> Workload {
+        Workload {
+            name: kind.name().to_owned(),
+            per_core: vec![kind.profile(); CORES],
+        }
+    }
+
+    /// A custom per-core mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly [`CORES`] profiles are supplied.
+    #[must_use]
+    pub fn mixed(name: &str, profiles: Vec<BenchmarkProfile>) -> Workload {
+        assert_eq!(profiles.len(), CORES, "a workload has exactly 8 cores");
+        Workload {
+            name: name.to_owned(),
+            per_core: profiles,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-core profiles.
+    #[must_use]
+    pub fn profiles(&self) -> &[BenchmarkProfile] {
+        &self.per_core
+    }
+
+    /// Page demand of each core's address space.
+    #[must_use]
+    pub fn pages_per_core(&self) -> Vec<u64> {
+        self.per_core.iter().map(|p| p.ws_pages).collect()
+    }
+
+    /// Total page demand across all cores.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.per_core.iter().map(|p| p.ws_pages).sum()
+    }
+
+    /// Builds the eight per-core trace generators, each with a derived
+    /// RNG stream.
+    #[must_use]
+    pub fn generators(&self, mut rng: SimRng) -> Vec<TraceGenerator> {
+        self.per_core
+            .iter()
+            .enumerate()
+            .map(|(core, profile)| {
+                let r = rng.derive(&format!("core{core}"));
+                TraceGenerator::new(*profile, core as u8, r)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_has_8_same_profiles() {
+        let w = Workload::homogeneous(BenchKind::Mcf);
+        assert_eq!(w.name(), "mcf");
+        assert_eq!(w.profiles().len(), CORES);
+        assert!(w.profiles().iter().all(|p| p.kind == BenchKind::Mcf));
+        assert_eq!(w.total_pages(), 8 * BenchKind::Mcf.profile().ws_pages);
+    }
+
+    #[test]
+    fn generators_are_independent_streams() {
+        let w = Workload::homogeneous(BenchKind::Stream);
+        let mut gens = w.generators(SimRng::from_seed(4));
+        let a: Vec<_> = (0..100).map(|_| gens[0].next_ref()).collect();
+        let b: Vec<_> = (0..100).map(|_| gens[1].next_ref()).collect();
+        // Same profile, different streams: address sequences must differ.
+        assert_ne!(
+            a.iter().map(|r| (r.vpage, r.slot)).collect::<Vec<_>>(),
+            b.iter().map(|r| (r.vpage, r.slot)).collect::<Vec<_>>()
+        );
+        // Core ids are stamped correctly.
+        assert!(a.iter().all(|r| r.core == 0));
+        assert!(b.iter().all(|r| r.core == 1));
+    }
+
+    #[test]
+    fn mixed_workload() {
+        let profiles = vec![
+            BenchKind::Mcf.profile(),
+            BenchKind::Lbm.profile(),
+            BenchKind::Wrf.profile(),
+            BenchKind::Xalan.profile(),
+            BenchKind::Stream.profile(),
+            BenchKind::Bwaves.profile(),
+            BenchKind::Zeusmp.profile(),
+            BenchKind::Leslie3d.profile(),
+        ];
+        let w = Workload::mixed("mix1", profiles);
+        assert_eq!(w.name(), "mix1");
+        assert_eq!(w.generators(SimRng::from_seed(1)).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 8 cores")]
+    fn wrong_core_count_panics() {
+        let _ = Workload::mixed("bad", vec![BenchKind::Mcf.profile(); 3]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Disturbance-probability model (paper §2.2.2, Table 1).
+//!
+//! The probability that one RESET pulse disturbs an idle amorphous
+//! neighbour grows sharply with the temperature the neighbour reaches.
+//! Crystallization is a thermally activated process, so we use an
+//! exponential (Arrhenius-like) law above the crystallization threshold
+//! and zero below it:
+//!
+//! ```text
+//! p(T) = 0                      for T < 300 °C
+//! p(T) = A · exp(b · T)         for T ≥ 300 °C   (clamped to 1)
+//! ```
+//!
+//! `A` and `b` are solved exactly from the paper's two published
+//! operating points for 4F² SLC cells: `p(310 °C) = 9.9 %` (word-line)
+//! and `p(320 °C) = 11.5 %` (bit-line).
+
+use crate::scaling::{ArraySpacing, TechNode};
+use crate::thermal::{Direction, ThermalModel, CRYSTALLIZATION_C};
+
+/// Table 1 calibration points.
+pub const TABLE1_WL_TEMP_C: f64 = 310.0;
+/// Table 1: SLC error rate along word-lines at 2F spacing.
+pub const TABLE1_WL_RATE: f64 = 0.099;
+/// Table 1: bit-line neighbour temperature at 2F spacing.
+pub const TABLE1_BL_TEMP_C: f64 = 320.0;
+/// Table 1: SLC error rate along bit-lines at 2F spacing.
+pub const TABLE1_BL_RATE: f64 = 0.115;
+
+/// The calibrated disturbance-probability model.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_wd::DisturbanceModel;
+///
+/// let m = DisturbanceModel::calibrated();
+/// assert!((m.p_wordline() - 0.099).abs() < 1e-9);
+/// assert!((m.p_bitline() - 0.115).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisturbanceModel {
+    ln_a: f64,
+    b: f64,
+    thermal: ThermalModel,
+    node: TechNode,
+}
+
+impl DisturbanceModel {
+    /// The model calibrated to Table 1 at the 20 nm node.
+    #[must_use]
+    pub fn calibrated() -> DisturbanceModel {
+        DisturbanceModel::from_points(
+            (TABLE1_WL_TEMP_C, TABLE1_WL_RATE),
+            (TABLE1_BL_TEMP_C, TABLE1_BL_RATE),
+            ThermalModel::calibrated_20nm(),
+            TechNode::paper_default(),
+        )
+    }
+
+    /// Builds a model through two `(temperature °C, probability)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperatures coincide or a probability is not in
+    /// `(0, 1)`.
+    #[must_use]
+    pub fn from_points(
+        p1: (f64, f64),
+        p2: (f64, f64),
+        thermal: ThermalModel,
+        node: TechNode,
+    ) -> DisturbanceModel {
+        let ((t1, r1), (t2, r2)) = (p1, p2);
+        assert!(t1 != t2, "calibration temperatures must differ");
+        assert!(r1 > 0.0 && r1 < 1.0 && r2 > 0.0 && r2 < 1.0);
+        let b = (r2.ln() - r1.ln()) / (t2 - t1);
+        let ln_a = r1.ln() - b * t1;
+        DisturbanceModel {
+            ln_a,
+            b,
+            thermal,
+            node,
+        }
+    }
+
+    /// Per-RESET disturbance probability at neighbour temperature `t_c`.
+    #[must_use]
+    pub fn probability_at(&self, t_c: f64) -> f64 {
+        if t_c < CRYSTALLIZATION_C {
+            return 0.0;
+        }
+        (self.ln_a + self.b * t_c).exp().min(1.0)
+    }
+
+    /// Per-RESET disturbance probability for a neighbour in direction
+    /// `dir` under the given array spacing, at this model's node.
+    #[must_use]
+    pub fn probability(&self, dir: Direction, spacing: ArraySpacing) -> f64 {
+        let d = self.node.distance_nm(spacing.in_direction(dir));
+        self.probability_at(self.thermal.neighbor_temp(dir, d))
+    }
+
+    /// Word-line disturbance probability at minimal (2F) spacing —
+    /// Table 1's 9.9 %.
+    #[must_use]
+    pub fn p_wordline(&self) -> f64 {
+        self.probability(Direction::WordLine, ArraySpacing::super_dense())
+    }
+
+    /// Bit-line disturbance probability at minimal (2F) spacing —
+    /// Table 1's 11.5 %.
+    #[must_use]
+    pub fn p_bitline(&self) -> f64 {
+        self.probability(Direction::BitLine, ArraySpacing::super_dense())
+    }
+
+    /// The thermal model in use.
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// The technology node in use.
+    #[must_use]
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+}
+
+impl Default for DisturbanceModel {
+    fn default() -> Self {
+        DisturbanceModel::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table1() {
+        let m = DisturbanceModel::calibrated();
+        assert!((m.p_wordline() - TABLE1_WL_RATE).abs() < 1e-9);
+        assert!((m.p_bitline() - TABLE1_BL_RATE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_below_crystallization() {
+        let m = DisturbanceModel::calibrated();
+        assert_eq!(m.probability_at(299.9), 0.0);
+        assert!(m.probability_at(300.0) > 0.0);
+    }
+
+    #[test]
+    fn monotone_in_temperature() {
+        let m = DisturbanceModel::calibrated();
+        let mut last = 0.0;
+        for t in (300..400).step_by(10) {
+            let p = m.probability_at(f64::from(t));
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn clamped_at_one() {
+        let m = DisturbanceModel::calibrated();
+        assert_eq!(m.probability_at(5000.0), 1.0);
+    }
+
+    #[test]
+    fn guard_band_spacings_are_safe() {
+        let m = DisturbanceModel::calibrated();
+        // DIN array: bit-line direction is WD-free.
+        assert_eq!(
+            m.probability(Direction::BitLine, ArraySpacing::din_enhanced()),
+            0.0
+        );
+        // Prototype: both directions WD-free.
+        assert_eq!(
+            m.probability(Direction::WordLine, ArraySpacing::prototype()),
+            0.0
+        );
+        assert_eq!(
+            m.probability(Direction::BitLine, ArraySpacing::prototype()),
+            0.0
+        );
+        // DIN still suffers word-line WD (that is what the encoding fixes).
+        assert!(m.probability(Direction::WordLine, ArraySpacing::din_enhanced()) > 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn coincident_calibration_panics() {
+        let _ = DisturbanceModel::from_points(
+            (310.0, 0.1),
+            (310.0, 0.2),
+            ThermalModel::calibrated_20nm(),
+            TechNode::paper_default(),
+        );
+    }
+}

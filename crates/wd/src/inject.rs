@@ -1,0 +1,212 @@
+//! The write-disturbance fault injector.
+//!
+//! Bridges the analytic models to the simulated device: given a write's
+//! differential mask and the contents of the neighbourhood, the injector
+//! rolls the calibrated per-RESET disturbance probabilities and returns
+//! the cells that actually flip. All draws come from one seeded stream,
+//! so a full-system run is reproducible.
+
+use sdpcm_engine::SimRng;
+use sdpcm_pcm::line::{DiffMask, LineBuf};
+
+use crate::disturb::DisturbanceModel;
+use crate::pattern::{bitline_vulnerable, wordline_vulnerable};
+use crate::scaling::ArraySpacing;
+use crate::thermal::Direction;
+
+/// Seeded disturbance injector for one simulated memory system.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::SimRng;
+/// use sdpcm_pcm::line::{DiffMask, LineBuf};
+/// use sdpcm_wd::{DisturbanceModel, WdInjector};
+/// use sdpcm_wd::scaling::ArraySpacing;
+///
+/// let rng = SimRng::from_seed_label(1, "inject");
+/// let mut inj = WdInjector::new(
+///     &DisturbanceModel::calibrated(),
+///     ArraySpacing::super_dense(),
+///     rng,
+/// );
+/// assert!((inj.p_bitline() - 0.115).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WdInjector {
+    p_wl: f64,
+    p_bl: f64,
+    rng: SimRng,
+}
+
+impl WdInjector {
+    /// Builds an injector for a given array spacing using the calibrated
+    /// disturbance model.
+    #[must_use]
+    pub fn new(model: &DisturbanceModel, spacing: ArraySpacing, rng: SimRng) -> WdInjector {
+        WdInjector {
+            p_wl: model.probability(Direction::WordLine, spacing),
+            p_bl: model.probability(Direction::BitLine, spacing),
+            rng,
+        }
+    }
+
+    /// Builds an injector with explicit probabilities (tests, ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_probs(p_wl: f64, p_bl: f64, rng: SimRng) -> WdInjector {
+        assert!((0.0..=1.0).contains(&p_wl) && (0.0..=1.0).contains(&p_bl));
+        WdInjector { p_wl, p_bl, rng }
+    }
+
+    /// Per-RESET word-line disturbance probability in effect.
+    #[must_use]
+    pub fn p_wordline(&self) -> f64 {
+        self.p_wl
+    }
+
+    /// Per-RESET bit-line disturbance probability in effect.
+    #[must_use]
+    pub fn p_bitline(&self) -> f64 {
+        self.p_bl
+    }
+
+    /// Rolls word-line disturbances for a write: which idle `0` cells of
+    /// the written line flip to `1`. `after` is the line's post-write
+    /// content, `diff` the write's mask.
+    pub fn draw_wordline(&mut self, after: &LineBuf, diff: &DiffMask) -> Vec<u16> {
+        if self.p_wl <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for victim in wordline_vulnerable(after, diff) {
+            // A victim flanked by two RESET cells faces two independent
+            // disturbance chances.
+            let b = victim as usize;
+            let left = b > 0 && diff.is_reset(b - 1);
+            let right = b + 1 < sdpcm_pcm::line::LINE_BITS && diff.is_reset(b + 1);
+            let exposures = usize::from(left) + usize::from(right);
+            for _ in 0..exposures {
+                if self.rng.chance(self.p_wl) {
+                    out.push(victim);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Rolls bit-line disturbances in one adjacent line: which of its `0`
+    /// cells under RESET positions of the written line flip to `1`.
+    pub fn draw_bitline(&mut self, diff: &DiffMask, neighbor: &LineBuf) -> Vec<u16> {
+        if self.p_bl <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for victim in bitline_vulnerable(diff, neighbor) {
+            if self.rng.chance(self.p_bl) {
+                out.push(victim);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(p_wl: f64, p_bl: f64) -> WdInjector {
+        WdInjector::with_probs(p_wl, p_bl, SimRng::from_seed_label(99, "inj-test"))
+    }
+
+    fn reset_heavy_diff(n: usize) -> (LineBuf, DiffMask) {
+        // n cells go 1 -> 0, spaced two apart so each has idle-0 victims.
+        let mut old = LineBuf::zeroed();
+        for i in 0..n {
+            old.set_bit(i * 3, true);
+        }
+        let new = LineBuf::zeroed();
+        (new, DiffMask::between(&old, &new))
+    }
+
+    #[test]
+    fn zero_probability_injects_nothing() {
+        let mut inj = injector(0.0, 0.0);
+        let (after, diff) = reset_heavy_diff(100);
+        assert!(inj.draw_wordline(&after, &diff).is_empty());
+        assert!(inj.draw_bitline(&diff, &LineBuf::zeroed()).is_empty());
+    }
+
+    #[test]
+    fn certain_probability_disturbs_all_vulnerable() {
+        let mut inj = injector(1.0, 1.0);
+        let (after, diff) = reset_heavy_diff(10);
+        let wl = inj.draw_wordline(&after, &diff);
+        assert_eq!(
+            wl.len(),
+            crate::pattern::wordline_vulnerable(&after, &diff).len()
+        );
+        let bl = inj.draw_bitline(&diff, &LineBuf::zeroed());
+        assert_eq!(bl.len(), 10);
+    }
+
+    #[test]
+    fn bitline_rate_matches_probability() {
+        let mut inj = injector(0.0, 0.115);
+        let (_, diff) = reset_heavy_diff(100);
+        let neighbor = LineBuf::zeroed();
+        let trials = 2000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            hits += inj.draw_bitline(&diff, &neighbor).len();
+        }
+        let rate = hits as f64 / (trials * 100) as f64;
+        assert!((rate - 0.115).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn crystalline_neighbors_never_disturbed() {
+        let mut inj = injector(1.0, 1.0);
+        let (_, diff) = reset_heavy_diff(20);
+        let ones = LineBuf::zeroed().not();
+        assert!(inj.draw_bitline(&diff, &ones).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (after, diff) = reset_heavy_diff(50);
+        let mut a = injector(0.099, 0.115);
+        let mut b = injector(0.099, 0.115);
+        assert_eq!(
+            a.draw_wordline(&after, &diff),
+            b.draw_wordline(&after, &diff)
+        );
+        assert_eq!(
+            a.draw_bitline(&diff, &LineBuf::zeroed()),
+            b.draw_bitline(&diff, &LineBuf::zeroed())
+        );
+    }
+
+    #[test]
+    fn built_from_model_matches_table1() {
+        let inj = WdInjector::new(
+            &DisturbanceModel::calibrated(),
+            ArraySpacing::super_dense(),
+            SimRng::from_seed(1),
+        );
+        assert!((inj.p_wordline() - 0.099).abs() < 1e-9);
+        assert!((inj.p_bitline() - 0.115).abs() < 1e-9);
+        // DIN spacing: bit-line WD-free.
+        let inj = WdInjector::new(
+            &DisturbanceModel::calibrated(),
+            ArraySpacing::din_enhanced(),
+            SimRng::from_seed(1),
+        );
+        assert_eq!(inj.p_bitline(), 0.0);
+        assert!(inj.p_wordline() > 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Vulnerable-pattern analysis (paper §2.2.1, Figure 3).
+//!
+//! A cell can be disturbed only under a specific data pattern: the victim
+//! must be **idle** (not programmed by the current write), must store
+//! bit `0` (fully amorphous — a crystalline cell cannot be melted by the
+//! leaked heat), and must neighbour a cell receiving a **RESET** pulse
+//! (SET pulses are ~4× cooler and ignorable).
+//!
+//! Two directions matter:
+//!
+//! * **word-line** victims are idle `0` cells *inside the written line*
+//!   whose left/right neighbour is being RESET — these are what the DIN
+//!   encoding minimizes;
+//! * **bit-line** victims are `0` cells at the *same bit position* in the
+//!   two adjacent rows (always idle: a write touches one word-line).
+
+use sdpcm_pcm::line::{DiffMask, LineBuf, LINE_BITS};
+
+/// Word-line-vulnerable cells of a write: idle cells whose final stored
+/// value is `0` and that have at least one RESET neighbour within the
+/// line.
+///
+/// `after` is the line's content after the write (idle cells keep their
+/// value, programmed cells take the new one).
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_pcm::line::{DiffMask, LineBuf};
+/// use sdpcm_wd::pattern::wordline_vulnerable;
+///
+/// // Cell 5 goes 1 -> 0 (RESET); idle cells 4 and 6 store 0 -> vulnerable.
+/// let mut old = LineBuf::zeroed();
+/// old.set_bit(5, true);
+/// let new = LineBuf::zeroed();
+/// let diff = DiffMask::between(&old, &new);
+/// let v = wordline_vulnerable(&new, &diff);
+/// assert_eq!(v, vec![4, 6]);
+/// ```
+#[must_use]
+pub fn wordline_vulnerable(after: &LineBuf, diff: &DiffMask) -> Vec<u16> {
+    let mut out = Vec::new();
+    for bit in 0..LINE_BITS {
+        if diff.is_programmed(bit) || after.bit(bit) {
+            continue; // programmed, or stores 1 (crystalline, immune)
+        }
+        let left_reset = bit > 0 && diff.is_reset(bit - 1);
+        let right_reset = bit + 1 < LINE_BITS && diff.is_reset(bit + 1);
+        if left_reset || right_reset {
+            out.push(bit as u16);
+        }
+    }
+    out
+}
+
+/// Number of word-line-vulnerable cells (the DIN encoder's objective).
+#[must_use]
+pub fn wordline_vulnerable_count(after: &LineBuf, diff: &DiffMask) -> usize {
+    wordline_vulnerable(after, diff).len()
+}
+
+/// Bit-line-vulnerable cells of one adjacent line: positions that are
+/// RESET in the written line and store `0` in the neighbour.
+///
+/// Cells in an adjacent line are idle by construction (a write drives a
+/// single word-line), so the only conditions are the RESET pulse and the
+/// amorphous victim.
+#[must_use]
+pub fn bitline_vulnerable(diff: &DiffMask, neighbor: &LineBuf) -> Vec<u16> {
+    let reset_mask = diff.reset_mask();
+    let mut out = Vec::new();
+    for (wi, (&r, &n)) in reset_mask
+        .words()
+        .iter()
+        .zip(neighbor.words().iter())
+        .enumerate()
+    {
+        let mut vulnerable = r & !n;
+        while vulnerable != 0 {
+            let b = vulnerable.trailing_zeros() as usize;
+            out.push((wi * 64 + b) as u16);
+            vulnerable &= vulnerable - 1;
+        }
+    }
+    out
+}
+
+/// Worst-case disturbance fan-out of one RESET: up to four neighbours
+/// (left/right along the word-line, up/down along the bit-line) can be
+/// vulnerable simultaneously (paper §2.2.1).
+pub const MAX_VICTIMS_PER_RESET: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordline_requires_idle_zero_next_to_reset() {
+        // old: bits 10 (1), 12 (1); new: clear bit 10 (RESET), keep 12.
+        let mut old = LineBuf::zeroed();
+        old.set_bit(10, true);
+        old.set_bit(12, true);
+        let mut new = old;
+        new.set_bit(10, false);
+        let diff = DiffMask::between(&old, &new);
+        let v = wordline_vulnerable(&new, &diff);
+        // bit 9 idle 0 (vulnerable), bit 11 idle 0 (vulnerable);
+        // bit 12 idle but stores 1 -> immune.
+        assert_eq!(v, vec![9, 11]);
+    }
+
+    #[test]
+    fn set_pulses_do_not_create_wl_victims() {
+        let old = LineBuf::zeroed();
+        let mut new = LineBuf::zeroed();
+        new.set_bit(100, true); // SET pulse
+        let diff = DiffMask::between(&old, &new);
+        assert!(wordline_vulnerable(&new, &diff).is_empty());
+    }
+
+    #[test]
+    fn programmed_neighbors_are_not_victims() {
+        // Both 20 and 21 are RESET: neither is idle, no victims between.
+        let mut old = LineBuf::zeroed();
+        old.set_bit(20, true);
+        old.set_bit(21, true);
+        let new = LineBuf::zeroed();
+        let diff = DiffMask::between(&old, &new);
+        let v = wordline_vulnerable(&new, &diff);
+        assert_eq!(v, vec![19, 22]);
+    }
+
+    #[test]
+    fn boundary_bits_handled() {
+        // RESET at bit 0 and 511.
+        let mut old = LineBuf::zeroed();
+        old.set_bit(0, true);
+        old.set_bit(511, true);
+        let new = LineBuf::zeroed();
+        let diff = DiffMask::between(&old, &new);
+        let v = wordline_vulnerable(&new, &diff);
+        assert_eq!(v, vec![1, 510]);
+    }
+
+    #[test]
+    fn bitline_victims_are_reset_positions_with_zero_neighbor() {
+        let mut old = LineBuf::zeroed();
+        old.set_bit(3, true);
+        old.set_bit(7, true);
+        let new = LineBuf::zeroed(); // RESET 3 and 7
+        let diff = DiffMask::between(&old, &new);
+
+        let mut neighbor = LineBuf::zeroed();
+        neighbor.set_bit(7, true); // crystalline at 7 -> immune
+        let v = bitline_vulnerable(&diff, &neighbor);
+        assert_eq!(v, vec![3]);
+    }
+
+    #[test]
+    fn bitline_no_resets_no_victims() {
+        let diff = DiffMask::empty();
+        let neighbor = LineBuf::zeroed();
+        assert!(bitline_vulnerable(&diff, &neighbor).is_empty());
+    }
+
+    #[test]
+    fn bitline_scans_all_words() {
+        let mut old = LineBuf::zeroed();
+        for b in [0usize, 64, 200, 511] {
+            old.set_bit(b, true);
+        }
+        let new = LineBuf::zeroed();
+        let diff = DiffMask::between(&old, &new);
+        let v = bitline_vulnerable(&diff, &LineBuf::zeroed());
+        assert_eq!(v, vec![0, 64, 200, 511]);
+    }
+}

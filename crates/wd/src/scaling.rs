@@ -1,0 +1,192 @@
+//! PCM technology scaling model.
+//!
+//! Write disturbance is a *scaling* problem: it was first observed at
+//! 54 nm [Lee et al., VLSIT'10] and becomes a first-order reliability
+//! issue at and below 20 nm (paper §2.2). This module captures the
+//! geometric side of the paper's WD model: feature size per node, the
+//! inter-cell spacing options used by the three array designs, and the
+//! resulting cell sizes.
+
+use crate::thermal::Direction;
+
+/// Inter-cell spacing in units of the feature size F.
+///
+/// `2F` is the minimal pitch (cells abut); the prototype chip adds
+/// thermal guard bands (3F/4F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Spacing {
+    /// Minimal 2F spacing — super dense.
+    TwoF,
+    /// 3F spacing (prototype's bit-line guard).
+    ThreeF,
+    /// 4F spacing (prototype's word-line guard, DIN's bit-line guard).
+    FourF,
+}
+
+impl Spacing {
+    /// The spacing in multiples of F.
+    #[must_use]
+    pub fn in_f(self) -> f64 {
+        match self {
+            Spacing::TwoF => 2.0,
+            Spacing::ThreeF => 3.0,
+            Spacing::FourF => 4.0,
+        }
+    }
+}
+
+/// A technology node.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_wd::scaling::{Spacing, TechNode};
+///
+/// let n = TechNode::nm(20);
+/// assert_eq!(n.distance_nm(Spacing::TwoF), 40.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TechNode {
+    feature_nm: u32,
+}
+
+impl TechNode {
+    /// Creates a node with the given feature size in nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_nm` is zero.
+    #[must_use]
+    pub fn nm(feature_nm: u32) -> TechNode {
+        assert!(feature_nm > 0, "feature size must be positive");
+        TechNode { feature_nm }
+    }
+
+    /// The paper's evaluation node (20 nm).
+    #[must_use]
+    pub fn paper_default() -> TechNode {
+        TechNode::nm(20)
+    }
+
+    /// Feature size in nm.
+    #[must_use]
+    pub fn feature_nm(self) -> u32 {
+        self.feature_nm
+    }
+
+    /// Physical inter-cell distance for a spacing option.
+    #[must_use]
+    pub fn distance_nm(self, spacing: Spacing) -> f64 {
+        f64::from(self.feature_nm) * spacing.in_f()
+    }
+
+    /// Cell size in F² for per-direction spacings: each direction
+    /// contributes half of its pitch to the cell footprint
+    /// (2F × 2F → 4F², 2F × 4F → 8F², 4F × 3F → 12F²).
+    #[must_use]
+    pub fn cell_size_f2(wordline: Spacing, bitline: Spacing) -> f64 {
+        wordline.in_f() * bitline.in_f()
+    }
+
+    /// Nodes conventionally cited in the PCM scaling literature, used by
+    /// the model-exploration example.
+    #[must_use]
+    pub fn ladder() -> Vec<TechNode> {
+        [54, 40, 30, 20, 16].into_iter().map(TechNode::nm).collect()
+    }
+}
+
+/// The per-direction spacing of an array design (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArraySpacing {
+    /// Spacing along word-lines.
+    pub wordline: Spacing,
+    /// Spacing along bit-lines.
+    pub bitline: Spacing,
+}
+
+impl ArraySpacing {
+    /// Super dense: 2F × 2F = 4F² (Figure 1a).
+    #[must_use]
+    pub fn super_dense() -> ArraySpacing {
+        ArraySpacing {
+            wordline: Spacing::TwoF,
+            bitline: Spacing::TwoF,
+        }
+    }
+
+    /// DIN-enhanced: 2F along word-lines, 4F along bit-lines = 8F²
+    /// (Figure 1c).
+    #[must_use]
+    pub fn din_enhanced() -> ArraySpacing {
+        ArraySpacing {
+            wordline: Spacing::TwoF,
+            bitline: Spacing::FourF,
+        }
+    }
+
+    /// WD-free prototype: 4F along word-lines, 3F along bit-lines = 12F²
+    /// (Figure 1b).
+    #[must_use]
+    pub fn prototype() -> ArraySpacing {
+        ArraySpacing {
+            wordline: Spacing::FourF,
+            bitline: Spacing::ThreeF,
+        }
+    }
+
+    /// Spacing in the given direction.
+    #[must_use]
+    pub fn in_direction(self, dir: Direction) -> Spacing {
+        match dir {
+            Direction::WordLine => self.wordline,
+            Direction::BitLine => self.bitline,
+        }
+    }
+
+    /// Cell size in F².
+    #[must_use]
+    pub fn cell_size_f2(self) -> f64 {
+        TechNode::cell_size_f2(self.wordline, self.bitline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_at_20nm() {
+        let n = TechNode::nm(20);
+        assert_eq!(n.distance_nm(Spacing::TwoF), 40.0);
+        assert_eq!(n.distance_nm(Spacing::ThreeF), 60.0);
+        assert_eq!(n.distance_nm(Spacing::FourF), 80.0);
+    }
+
+    #[test]
+    fn cell_sizes_match_figure1() {
+        assert_eq!(ArraySpacing::super_dense().cell_size_f2(), 4.0);
+        assert_eq!(ArraySpacing::din_enhanced().cell_size_f2(), 8.0);
+        assert_eq!(ArraySpacing::prototype().cell_size_f2(), 12.0);
+    }
+
+    #[test]
+    fn ladder_is_descending() {
+        let l = TechNode::ladder();
+        assert!(l.windows(2).all(|w| w[0].feature_nm() > w[1].feature_nm()));
+        assert!(l.contains(&TechNode::paper_default()));
+    }
+
+    #[test]
+    fn direction_lookup() {
+        let s = ArraySpacing::din_enhanced();
+        assert_eq!(s.in_direction(Direction::WordLine), Spacing::TwoF);
+        assert_eq!(s.in_direction(Direction::BitLine), Spacing::FourF);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_feature_size_panics() {
+        let _ = TechNode::nm(0);
+    }
+}

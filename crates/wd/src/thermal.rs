@@ -1,0 +1,185 @@
+//! PCM cell thermal model.
+//!
+//! During a RESET the programmed cell is heated above the GST melting
+//! point (~600 °C, paper §2.1). Heat leaks laterally; the temperature an
+//! idle neighbour reaches decays (approximately exponentially) with the
+//! edge-to-edge distance, with a decay length set by the insulating
+//! material in that direction:
+//!
+//! * **bit-line direction** — cells along one bit-line sit on a shared
+//!   GST rail (µTrench structure [Pellizzer et al., VLSIT'04]); GST
+//!   conducts heat comparatively well → longer decay length;
+//! * **word-line direction** — adjacent bit-lines are isolated by oxide,
+//!   a better thermal insulator → shorter decay length.
+//!
+//! The two decay lengths are calibrated so that at 20 nm / 2F spacing the
+//! neighbour temperatures match the paper's Table 1 operating points:
+//! 310 °C along word-lines, 320 °C along bit-lines. The same model then
+//! reproduces the prototype chip's WD-free margins (4F word-line / 3F
+//! bit-line spacing stays below the ~300 °C crystallization threshold).
+
+/// Direction of the neighbour relative to the cell being RESET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Along a word-line (across oxide-isolated bit-lines).
+    WordLine,
+    /// Along a bit-line (on the shared GST rail).
+    BitLine,
+}
+
+/// The analytic thermal model.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_wd::thermal::{Direction, ThermalModel};
+///
+/// let m = ThermalModel::calibrated_20nm();
+/// let t = m.neighbor_temp(Direction::BitLine, 40.0); // 2F at 20nm
+/// assert!((t - 320.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Ambient temperature (°C).
+    pub ambient_c: f64,
+    /// Peak temperature of the RESET cell (°C).
+    pub reset_peak_c: f64,
+    /// Decay length across oxide, word-line direction (nm).
+    pub lambda_oxide_nm: f64,
+    /// Decay length along the GST rail, bit-line direction (nm).
+    pub lambda_gst_nm: f64,
+}
+
+/// GST crystallization temperature (°C); below this, no disturbance.
+pub const CRYSTALLIZATION_C: f64 = 300.0;
+/// GST melting temperature (°C); an idle SET cell cannot be melted by
+/// disturbance because the neighbour never reaches this (paper §2.2.1).
+pub const MELTING_C: f64 = 600.0;
+
+impl ThermalModel {
+    /// The model calibrated at the 20 nm node to Table 1: 2F spacing
+    /// (40 nm) gives 310 °C along word-lines and 320 °C along bit-lines.
+    #[must_use]
+    pub fn calibrated_20nm() -> ThermalModel {
+        let ambient = 27.0;
+        let peak = 630.0; // slightly above melting, typical RESET target
+                          // Solve T(d) = ambient + (peak-ambient)·exp(-d/λ) for λ at d=40nm.
+        let lambda = |t_at_40: f64| 40.0 / ((peak - ambient) / (t_at_40 - ambient)).ln();
+        ThermalModel {
+            ambient_c: ambient,
+            reset_peak_c: peak,
+            lambda_oxide_nm: lambda(310.0),
+            lambda_gst_nm: lambda(320.0),
+        }
+    }
+
+    /// Temperature (°C) an idle neighbour reaches when a cell `dist_nm`
+    /// away (edge-to-edge) is RESET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist_nm` is not positive.
+    #[must_use]
+    pub fn neighbor_temp(&self, dir: Direction, dist_nm: f64) -> f64 {
+        assert!(dist_nm > 0.0, "distance must be positive");
+        let lambda = match dir {
+            Direction::WordLine => self.lambda_oxide_nm,
+            Direction::BitLine => self.lambda_gst_nm,
+        };
+        self.ambient_c + (self.reset_peak_c - self.ambient_c) * (-dist_nm / lambda).exp()
+    }
+
+    /// Temperature rise above ambient during a SET pulse at the same
+    /// distance: SET current is about half the RESET current, so the
+    /// temperature increase is ~4× lower (paper §2.2.1, [Russo'08]).
+    #[must_use]
+    pub fn neighbor_temp_during_set(&self, dir: Direction, dist_nm: f64) -> f64 {
+        let rise = self.neighbor_temp(dir, dist_nm) - self.ambient_c;
+        self.ambient_c + rise / 4.0
+    }
+
+    /// Whether a RESET at this distance can disturb an idle amorphous
+    /// neighbour (i.e. heats it past crystallization).
+    #[must_use]
+    pub fn disturbs(&self, dir: Direction, dist_nm: f64) -> bool {
+        self.neighbor_temp(dir, dist_nm) >= CRYSTALLIZATION_C
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::calibrated_20nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: f64 = 20.0;
+
+    #[test]
+    fn calibration_matches_table1_temps() {
+        let m = ThermalModel::calibrated_20nm();
+        assert!((m.neighbor_temp(Direction::WordLine, 2.0 * F) - 310.0).abs() < 1e-6);
+        assert!((m.neighbor_temp(Direction::BitLine, 2.0 * F) - 320.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bitline_hotter_than_wordline() {
+        // Oxide isolates better than GST (paper §1), so at equal distance
+        // the bit-line neighbour is hotter.
+        let m = ThermalModel::calibrated_20nm();
+        for d in [30.0, 40.0, 60.0, 80.0] {
+            assert!(
+                m.neighbor_temp(Direction::BitLine, d) > m.neighbor_temp(Direction::WordLine, d)
+            );
+        }
+    }
+
+    #[test]
+    fn prototype_spacings_are_wd_free() {
+        // Figure 1(b): 4F along word-lines, 3F along bit-lines removes WD.
+        let m = ThermalModel::calibrated_20nm();
+        assert!(!m.disturbs(Direction::WordLine, 4.0 * F));
+        assert!(!m.disturbs(Direction::BitLine, 3.0 * F));
+        // while 2F spacing disturbs in both directions.
+        assert!(m.disturbs(Direction::WordLine, 2.0 * F));
+        assert!(m.disturbs(Direction::BitLine, 2.0 * F));
+    }
+
+    #[test]
+    fn din_spacing_bitline_4f_is_wd_free() {
+        // Figure 1(c): DIN keeps 4F along bit-lines → WD-free there.
+        let m = ThermalModel::calibrated_20nm();
+        assert!(!m.disturbs(Direction::BitLine, 4.0 * F));
+    }
+
+    #[test]
+    fn temperature_decays_with_distance() {
+        let m = ThermalModel::calibrated_20nm();
+        let mut last = f64::INFINITY;
+        for i in 1..10 {
+            let t = m.neighbor_temp(Direction::BitLine, f64::from(i) * 10.0);
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn set_pulse_rise_is_quarter() {
+        let m = ThermalModel::calibrated_20nm();
+        let reset_rise = m.neighbor_temp(Direction::BitLine, 40.0) - m.ambient_c;
+        let set_rise = m.neighbor_temp_during_set(Direction::BitLine, 40.0) - m.ambient_c;
+        assert!((set_rise * 4.0 - reset_rise).abs() < 1e-9);
+        // SET never crosses crystallization at 2F → its disturbance is
+        // ignorable, as the paper assumes.
+        assert!(m.neighbor_temp_during_set(Direction::BitLine, 40.0) < CRYSTALLIZATION_C);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_distance_panics() {
+        let _ = ThermalModel::calibrated_20nm().neighbor_temp(Direction::BitLine, 0.0);
+    }
+}

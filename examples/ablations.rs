@@ -1,0 +1,196 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **DIN group size** — smaller inversion groups give the encoder more
+//!    freedom against word-line-vulnerable patterns, at more flag bits.
+//! 2. **Encoder objective** — DIN (disturbance-aware) vs Flip-N-Write
+//!    (wear-aware) vs identity: the same mechanism, opposite goals.
+//! 3. **ECP record placement** — overlapped on the dedicated ECP chip
+//!    (SD-PCM's design, Figure 7) vs occupying the bank like a data op.
+//! 4. **Read-priority mechanism** — write cancellation vs write pausing.
+//! 5. **Start-Gap ψ** — wear-levelling copy overhead vs gap speed.
+//!
+//! ```text
+//! cargo run --release --example ablations
+//! ```
+
+use sdpcm::core::experiments::run_cell;
+use sdpcm::core::{ExperimentParams, Scheme};
+use sdpcm::engine::SimRng;
+use sdpcm::osalloc::NmRatio;
+use sdpcm::pcm::line::{DiffMask, LineBuf};
+use sdpcm::trace::BenchKind;
+use sdpcm::wd::din::{DinCodec, DinFlags};
+use sdpcm::wd::fnw::FnwCodec;
+use sdpcm::wd::pattern::wordline_vulnerable_count;
+
+fn random_line(rng: &mut SimRng) -> LineBuf {
+    let mut words = [0u64; 8];
+    for w in &mut words {
+        *w = rng.next_u64();
+    }
+    LineBuf::from_words(words)
+}
+
+fn main() {
+    let params = ExperimentParams {
+        refs_per_core: 4_000,
+        ..ExperimentParams::quick_test()
+    };
+
+    println!("== 1. DIN group size (victims & programmed cells per write) ==\n");
+    println!("group  flags/line  WL-vulnerable/write  cells programmed/write");
+    for group in [8usize, 16, 32, 64] {
+        let codec = DinCodec::new(group);
+        let mut rng = SimRng::from_seed_label(31, "ablate-din");
+        let (mut stored, mut flags) = (LineBuf::zeroed(), DinFlags::default());
+        let (mut vic, mut cost) = (0usize, 0u64);
+        let n = 400;
+        for _ in 0..n {
+            let plain = random_line(&mut rng);
+            let (enc, f) = codec.encode(&plain, &stored, flags);
+            let d = DiffMask::between(&stored, &enc);
+            vic += wordline_vulnerable_count(&enc, &d);
+            cost += u64::from(d.changed_count());
+            stored = enc;
+            flags = f;
+        }
+        println!(
+            "{group:>5}  {:>10}  {:>19.2}  {:>22.1}",
+            codec.overhead_bits(),
+            vic as f64 / f64::from(n),
+            cost as f64 / f64::from(n)
+        );
+    }
+
+    println!("\n== 2. Encoder objective: DIN vs Flip-N-Write vs identity ==\n");
+    println!("encoder    WL-vulnerable/write  cells programmed/write");
+    let run_encoder =
+        |name: &str, enc: &dyn Fn(&LineBuf, &LineBuf, DinFlags) -> (LineBuf, DinFlags)| {
+            let mut rng = SimRng::from_seed_label(32, "ablate-enc");
+            let (mut stored, mut flags) = (LineBuf::zeroed(), DinFlags::default());
+            let (mut vic, mut cost) = (0usize, 0u64);
+            let n = 400;
+            for _ in 0..n {
+                let plain = random_line(&mut rng);
+                let (e, f) = enc(&plain, &stored, flags);
+                let d = DiffMask::between(&stored, &e);
+                vic += wordline_vulnerable_count(&e, &d);
+                cost += u64::from(d.changed_count());
+                stored = e;
+                flags = f;
+            }
+            println!(
+                "{name:<10} {:>18.2}  {:>22.1}",
+                vic as f64 / f64::from(n),
+                cost as f64 / f64::from(n)
+            );
+        };
+    let din = DinCodec::new(8);
+    let fnw = FnwCodec::new(8);
+    run_encoder("DIN", &|p, s, f| din.encode(p, s, f));
+    run_encoder("FNW", &|p, s, f| fnw.encode(p, s, f));
+    run_encoder("identity", &|p, _s, _f| (*p, DinFlags::default()));
+
+    println!("\n== 3. ECP record placement (LazyC on lbm) ==\n");
+    let base = run_cell(Scheme::baseline(), BenchKind::Lbm, &params);
+    let overlapped = run_cell(Scheme::lazyc(), BenchKind::Lbm, &params);
+    let inline = run_cell(
+        Scheme {
+            name: "LazyC(inline-ECP)".into(),
+            ctrl: Scheme::lazyc().ctrl.with_inline_ecp_writes(),
+            ratio: NmRatio::one_one(),
+        },
+        BenchKind::Lbm,
+        &params,
+    );
+    println!("placement   speedup vs basic VnC");
+    println!(
+        "overlapped  {:.3}   (dedicated ECP chip, Figure 7)",
+        overlapped.speedup_vs(&base)
+    );
+    println!(
+        "inline      {:.3}   (records occupy the bank)",
+        inline.speedup_vs(&base)
+    );
+
+    println!("\n== 4. Write cancellation vs write pausing (LazyC on mcf) ==\n");
+    let bench = BenchKind::Mcf;
+    let plain = run_cell(Scheme::lazyc(), bench, &params);
+    let wc = run_cell(
+        Scheme {
+            name: "LazyC+WC".into(),
+            ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
+            ratio: NmRatio::one_one(),
+        },
+        bench,
+        &params,
+    );
+    let wp = run_cell(
+        Scheme {
+            name: "LazyC+WP".into(),
+            ctrl: Scheme::lazyc().ctrl.with_write_pausing(),
+            ratio: NmRatio::one_one(),
+        },
+        bench,
+        &params,
+    );
+    println!("mechanism     speedup vs LazyC  avg read lat  p99 read lat  events");
+    println!(
+        "none          {:>7.3}          {:>7.0} cyc  {:>8} cyc",
+        1.0,
+        plain.ctrl.avg_read_latency(),
+        plain.ctrl.read_latency_quantile(0.99)
+    );
+    println!(
+        "cancellation  {:>7.3}          {:>7.0} cyc  {:>8} cyc  {} cancels",
+        wc.speedup_vs(&plain),
+        wc.ctrl.avg_read_latency(),
+        wc.ctrl.read_latency_quantile(0.99),
+        wc.ctrl.write_cancellations
+    );
+    println!(
+        "pausing       {:>7.3}          {:>7.0} cyc  {:>8} cyc  {} pauses",
+        wp.speedup_vs(&plain),
+        wp.ctrl.avg_read_latency(),
+        wp.ctrl.read_latency_quantile(0.99),
+        wp.ctrl.write_pauses
+    );
+
+    println!("\n== 5. Array-energy overhead of each scheme (lbm) ==\n");
+    println!("scheme               energy overhead vs demand traffic");
+    for s in [
+        Scheme::din(),
+        Scheme::baseline(),
+        Scheme::lazyc(),
+        Scheme::lazyc_preread_two_three(),
+        Scheme::one_two_alloc(),
+    ] {
+        let r = run_cell(s.clone(), BenchKind::Lbm, &params);
+        println!(
+            "{:<20} {:>6.1}%",
+            s.name,
+            r.energy.overhead_fraction() * 100.0
+        );
+    }
+
+    println!("\n== 6. Start-Gap gap period (DIN on zeusmp) ==\n");
+    let no_sg = run_cell(Scheme::din(), BenchKind::Zeusmp, &params);
+    println!("psi      speedup vs no-wear-leveling  gap moves");
+    for psi in [16u32, 64, 256] {
+        let r = run_cell(
+            Scheme {
+                name: format!("DIN+SG{psi}"),
+                ctrl: Scheme::din().ctrl.with_start_gap(psi),
+                ratio: NmRatio::one_one(),
+            },
+            BenchKind::Zeusmp,
+            &params,
+        );
+        println!(
+            "{psi:>4}     {:>10.3}                 {:>9}",
+            r.speedup_vs(&no_sg),
+            r.ctrl.gap_moves
+        );
+    }
+    println!("\n(smaller psi levels wear faster but pays more copy bandwidth)");
+}

@@ -1,0 +1,79 @@
+//! Capacity/area analysis: the economics behind super dense PCM.
+//!
+//! Walks through the paper's §3.1 and §6.1 numbers: cell sizes of the
+//! three array designs, equal-area capacity, and chip-count/area
+//! comparisons — all computed from the `sdpcm-pcm` capacity model.
+//!
+//! ```text
+//! cargo run --release --example capacity_analysis
+//! ```
+
+use sdpcm::pcm::capacity::{self, ArrayDesign, CapacityComparison, CELL_ARRAY_CHIP_FRACTION};
+use sdpcm::wd::scaling::ArraySpacing;
+use sdpcm::wd::thermal::{Direction, ThermalModel, CRYSTALLIZATION_C};
+
+fn main() {
+    println!("== Cell-array designs (paper Figure 1) ==\n");
+    let thermal = ThermalModel::calibrated_20nm();
+    let designs = [
+        (
+            ArrayDesign::SuperDense,
+            ArraySpacing::super_dense(),
+            "SD-PCM target",
+        ),
+        (
+            ArrayDesign::DinEnhanced,
+            ArraySpacing::din_enhanced(),
+            "DIN [DSN'14]",
+        ),
+        (
+            ArrayDesign::Prototype,
+            ArraySpacing::prototype(),
+            "prototype [ISSCC'12]",
+        ),
+    ];
+    println!("design        cell   capacity-vs-ideal  WL-neighbor  BL-neighbor  WD exposure");
+    for (design, spacing, label) in designs {
+        let wl = thermal.neighbor_temp(Direction::WordLine, 20.0 * spacing.wordline.in_f());
+        let bl = thermal.neighbor_temp(Direction::BitLine, 20.0 * spacing.bitline.in_f());
+        let exposure = match (wl >= CRYSTALLIZATION_C, bl >= CRYSTALLIZATION_C) {
+            (true, true) => "word-lines + bit-lines",
+            (true, false) => "word-lines only",
+            (false, true) => "bit-lines only",
+            (false, false) => "none",
+        };
+        println!(
+            "{label:<21} {:>2}F2  {:>6.1}%            {wl:>5.0} C      {bl:>5.0} C    {exposure}",
+            design.cell_size_f2(),
+            design.capacity_fraction_of_ideal() * 100.0,
+        );
+    }
+
+    println!("\n== Equal-area capacity (paper §6.1) ==\n");
+    let CapacityComparison {
+        sd_pcm_gb,
+        din_gb,
+        improvement,
+    } = capacity::equal_area_comparison();
+    println!("same total cell-array silicon:");
+    println!("  SD-PCM (8 dense data chips + double-array low-density ECP): {sd_pcm_gb:.2} GB");
+    println!("  DIN    (everything at 8F2):                                 {din_gb:.2} GB");
+    println!(
+        "  capacity improvement:                                       {:.0}%",
+        improvement * 100.0
+    );
+
+    println!("\n== Chip-level comparisons ==\n");
+    let (din_chips, sd_chips, reduction) = capacity::equal_size_chip_comparison();
+    println!("building 4 GB from equal-size chips: DIN needs {din_chips}, SD-PCM needs {sd_chips} ({:.0}% fewer)", reduction * 100.0);
+    println!(
+        "with big (double-array) chips for the low-density parts: {:.1}% total chip-area reduction",
+        capacity::big_chip_area_reduction() * 100.0
+    );
+    println!(
+        "\n(cell arrays occupy {:.1}% of chip area in the prototype, so a 33% array-density gain\n\
+         is only a {:.1}% chip shrink — §3.1's point about DIN)",
+        CELL_ARRAY_CHIP_FRACTION * 100.0,
+        capacity::chip_size_reduction(1.0 / 3.0) * 100.0
+    );
+}

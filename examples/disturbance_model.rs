@@ -1,0 +1,51 @@
+//! Exploring the write-disturbance model across technology nodes.
+//!
+//! WD appeared at 54 nm and became a first-order problem at 20 nm
+//! (paper §2.2). This example sweeps the scaling ladder and prints the
+//! neighbour temperatures and per-RESET disturbance probabilities the
+//! calibrated thermal model predicts for each spacing option.
+//!
+//! ```text
+//! cargo run --release --example disturbance_model
+//! ```
+
+use sdpcm::wd::disturb::DisturbanceModel;
+use sdpcm::wd::scaling::{Spacing, TechNode};
+use sdpcm::wd::thermal::{Direction, ThermalModel, CRYSTALLIZATION_C};
+
+fn main() {
+    let thermal = ThermalModel::calibrated_20nm();
+    let model = DisturbanceModel::calibrated();
+
+    println!("Write-disturbance risk across the scaling ladder");
+    println!("(idle amorphous neighbour temperature during a RESET; disturbance");
+    println!(" requires crossing the {CRYSTALLIZATION_C:.0} C crystallization threshold)\n");
+
+    println!("node    spacing  dist    WL temp  WL p(disturb)  BL temp  BL p(disturb)");
+    for node in TechNode::ladder() {
+        for spacing in [Spacing::TwoF, Spacing::ThreeF, Spacing::FourF] {
+            let d = node.distance_nm(spacing);
+            let wl_t = thermal.neighbor_temp(Direction::WordLine, d);
+            let bl_t = thermal.neighbor_temp(Direction::BitLine, d);
+            println!(
+                "{:>4}nm  {:>4.0}F   {:>4.0}nm   {:>5.0} C  {:>8.2}%      {:>5.0} C  {:>8.2}%",
+                node.feature_nm(),
+                spacing.in_f(),
+                d,
+                wl_t,
+                model.probability_at(wl_t) * 100.0,
+                bl_t,
+                model.probability_at(bl_t) * 100.0,
+            );
+        }
+        println!();
+    }
+
+    println!("observations the paper builds on:");
+    println!(" * at 54 nm even minimal 2F spacing stays below crystallization — WD was");
+    println!("   only just measurable there [VLSIT'10];");
+    println!(" * at 20 nm / 2F both directions disturb (Table 1: 9.9% / 11.5%), and the");
+    println!("   bit-line direction is hotter because cells share a GST rail (uTrench);");
+    println!(" * guard bands work — 3F on bit-lines or 4F on word-lines is WD-free —");
+    println!("   but cost 2-3x the cell area, which is exactly what SD-PCM avoids.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a super dense PCM system, run a workload under the
+//! full SD-PCM scheme, and inspect what the machinery did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdpcm::core::experiments::run_cell;
+use sdpcm::core::{ExperimentParams, Scheme};
+use sdpcm::trace::BenchKind;
+
+fn main() {
+    let params = ExperimentParams {
+        refs_per_core: 5_000,
+        ..ExperimentParams::quick_test()
+    };
+
+    println!("SD-PCM quickstart: mcf on 4F2 super dense PCM\n");
+
+    // The WD-free 8F2 reference design...
+    let din = run_cell(Scheme::din(), BenchKind::Mcf, &params);
+    // ...the naive verify-and-correct baseline on 4F2...
+    let baseline = run_cell(Scheme::baseline(), BenchKind::Mcf, &params);
+    // ...and the full SD-PCM recipe on the same 4F2 array.
+    let sdpcm = run_cell(Scheme::lazyc_preread_two_three(), BenchKind::Mcf, &params);
+
+    println!("scheme                 cycles        speedup vs baseline");
+    for r in [&din, &baseline, &sdpcm] {
+        println!(
+            "{:<22} {:>12}  {:.3}",
+            r.scheme,
+            r.total_cycles,
+            r.speedup_vs(&baseline)
+        );
+    }
+
+    println!("\nwhat the SD-PCM run did under the hood:");
+    let s = &sdpcm.ctrl;
+    println!("  demand writes committed      {}", s.writes);
+    println!(
+        "  bit-line WD errors/neighbor  {:.2} (max {})",
+        s.bl_errors_per_neighbor.mean(),
+        s.bl_errors_per_neighbor.max_observed().unwrap_or(0)
+    );
+    println!("  verification reads           {}", s.verification_ops);
+    println!("  WD errors buffered in ECP    {}", s.ecp_records);
+    println!(
+        "  correction writes            {} ({:.3} per write)",
+        s.correction_ops,
+        s.corrections_per_write()
+    );
+    println!("  pre-reads hidden in idle     {}", s.prereads_issued);
+    println!("  pre-reads forwarded          {}", s.preread_forwards);
+    println!(
+        "\ncell arrays: 4F2 super dense = 2x the density of the 8F2 DIN design,\n\
+         at {:.1}% of its performance on this workload.",
+        100.0 * sdpcm.speedup_vs(&din)
+    );
+}

@@ -1,0 +1,251 @@
+//! Property-based controller stress: arbitrary mechanism combinations ×
+//! arbitrary request sequences must never violate the consistency
+//! invariant (reads return the last written value) as long as some form
+//! of VnC protection is active.
+//!
+//! This generalizes `tests/consistency.rs` from fixed seeds to
+//! proptest-explored schedules — the net that catches scheduling corner
+//! cases (pause/cancel/drain interleavings, ECP exhaustion, aging).
+
+use std::collections::HashMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sdpcm::engine::{Cycle, SimRng};
+use sdpcm::memctrl::{Access, AccessKind, CtrlConfig, CtrlScheme, MemoryController, ReqId};
+use sdpcm::osalloc::NmRatio;
+use sdpcm::pcm::geometry::{BankId, LineAddr, MemGeometry, RowId};
+use sdpcm::pcm::line::LineBuf;
+
+#[derive(Debug, Clone)]
+struct Op {
+    is_write: bool,
+    bank: u16,
+    row: u32,
+    slot: u8,
+    gap: u64,
+    flip_seed: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        any::<bool>(),
+        0u16..2,
+        0u32..6,
+        0u8..3,
+        1u64..1_200,
+        any::<u64>(),
+    )
+        .prop_map(|(is_write, bank, row, slot, gap, flip_seed)| Op {
+            is_write,
+            bank,
+            row: 20 + row,
+            slot,
+            gap,
+            flip_seed,
+        })
+}
+
+#[derive(Debug, Clone)]
+struct SchemeChoice {
+    lazyc: bool,
+    preread: bool,
+    cancel: bool,
+    pause: bool,
+    ecp_entries: usize,
+    queue_cap: usize,
+    aged: bool,
+}
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeChoice> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..8,
+        prop::sample::select(vec![4usize, 8, 32]),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(lazyc, preread, cancel, pause, ecp_entries, queue_cap, aged)| SchemeChoice {
+                lazyc,
+                preread,
+                cancel,
+                pause,
+                ecp_entries,
+                queue_cap,
+                aged,
+            },
+        )
+}
+
+fn flip(data: &mut LineBuf, seed: u64) {
+    let mut x = seed | 1;
+    for _ in 0..48 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let b = (x % 512) as usize;
+        let v = data.bit(b);
+        data.set_bit(b, !v);
+    }
+}
+
+/// A line whose stuck-cell population exceeds its ECP capacity is
+/// *unprotectable* — real end-of-life PCM loses it too (the OS would
+/// decommission the page). Reads of such lines are exempt from the
+/// consistency oracle.
+fn unprotectable(ctrl: &MemoryController, addr: LineAddr) -> bool {
+    ctrl.store().hard_error_count(addr) > ctrl.config().ecp_entries
+}
+
+fn run_schedule(choice: &SchemeChoice, ops: &[Op]) -> Result<(), String> {
+    let mut scheme = CtrlScheme::baseline_vnc();
+    scheme.lazy_correction = choice.lazyc;
+    scheme.preread = choice.preread;
+    scheme.write_cancellation = choice.cancel;
+    scheme.write_pausing = choice.pause;
+    let cfg = CtrlConfig {
+        write_queue_cap: choice.queue_cap,
+        ecp_entries: choice.ecp_entries,
+        ..CtrlConfig::table2(scheme)
+    };
+    let mut ctrl = MemoryController::new(
+        cfg,
+        MemGeometry::small(64),
+        SimRng::from_seed_label(97, "stress"),
+    );
+    if choice.aged {
+        ctrl.set_dimm_age(sdpcm::pcm::wear::HardErrorModel::default(), 0.9);
+    }
+
+    let mut shadow: HashMap<LineAddr, LineBuf> = HashMap::new();
+    let mut pending: HashMap<ReqId, (LineAddr, LineBuf)> = HashMap::new();
+    let mut now = Cycle::ZERO;
+    for (i, op) in ops.iter().enumerate() {
+        now += Cycle(op.gap);
+        let addr = LineAddr {
+            bank: BankId(op.bank),
+            row: RowId(op.row),
+            slot: op.slot,
+        };
+        let id = ReqId(i as u64);
+        if op.is_write {
+            let mut data = shadow
+                .get(&addr)
+                .copied()
+                .unwrap_or_else(|| ctrl.store().initial_line(addr));
+            flip(&mut data, op.flip_seed);
+            shadow.insert(addr, data);
+            ctrl.submit(
+                Access {
+                    id,
+                    addr,
+                    kind: AccessKind::Write(data),
+                    ratio: NmRatio::one_one(),
+                    core: 0,
+                    arrive: now,
+                },
+                now,
+            );
+        } else {
+            let expect = shadow
+                .get(&addr)
+                .copied()
+                .unwrap_or_else(|| ctrl.store().initial_line(addr));
+            pending.insert(id, (addr, expect));
+            ctrl.submit(
+                Access {
+                    id,
+                    addr,
+                    kind: AccessKind::Read,
+                    ratio: NmRatio::one_one(),
+                    core: 0,
+                    arrive: now,
+                },
+                now,
+            );
+            // In-order core semantics: block until this read completes so
+            // later writes cannot legally overtake it.
+            while pending.contains_key(&id) {
+                let t = ctrl
+                    .next_event()
+                    .ok_or_else(|| "read lost: controller went idle".to_owned())?;
+                for c in ctrl.advance(t) {
+                    if let Some((a, expect)) = pending.remove(&c.id) {
+                        if c.data != Some(expect) && !unprotectable(&ctrl, a) {
+                            return Err(format!("read of {a} returned wrong data (op {i})"));
+                        }
+                    }
+                }
+            }
+        }
+        for c in ctrl.advance(now) {
+            if let Some((a, expect)) = pending.remove(&c.id) {
+                if c.data != Some(expect) && !unprotectable(&ctrl, a) {
+                    return Err(format!("read of {a} returned wrong data (op {i})"));
+                }
+            }
+        }
+    }
+    // Settle and sweep.
+    ctrl.drain_all(now);
+    while let Some(t) = ctrl.next_event() {
+        for c in ctrl.advance(t) {
+            if let Some((a, expect)) = pending.remove(&c.id) {
+                if c.data != Some(expect) && !unprotectable(&ctrl, a) {
+                    return Err(format!("late read of {a} returned wrong data"));
+                }
+            }
+        }
+        ctrl.drain_all(t);
+    }
+    for (addr, expect) in &shadow {
+        if ctrl.architectural_line(*addr) != *expect && !unprotectable(&ctrl, *addr) {
+            return Err(format!("final sweep: {addr} corrupted"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_protected_scheme_stays_consistent(
+        choice in scheme_strategy(),
+        ops in vec(op_strategy(), 50..250),
+    ) {
+        if let Err(e) = run_schedule(&choice, &ops) {
+            prop_assert!(false, "{} under {:?}", e, choice);
+        }
+    }
+}
+
+#[test]
+fn kitchen_sink_scheme_long_schedule() {
+    // Everything on at once, longer deterministic schedule.
+    let choice = SchemeChoice {
+        lazyc: true,
+        preread: true,
+        cancel: true,
+        pause: true,
+        ecp_entries: 6,
+        queue_cap: 8,
+        aged: true,
+    };
+    let mut rng = SimRng::from_seed_label(123, "kitchen");
+    let ops: Vec<Op> = (0..2_000)
+        .map(|_| Op {
+            is_write: rng.chance(0.6),
+            bank: rng.below(2) as u16,
+            row: 20 + rng.below(6) as u32,
+            slot: rng.below(3) as u8,
+            gap: rng.below(1_200) + 1,
+            flip_seed: rng.next_u64(),
+        })
+        .collect();
+    run_schedule(&choice, &ops).expect("kitchen-sink schedule stays consistent");
+}

@@ -1,0 +1,169 @@
+//! Shape tests: the qualitative claims of each paper figure must hold in
+//! the reproduction — who wins, monotonicity, crossovers — at test scale.
+//! (EXPERIMENTS.md records the full-scale numbers.)
+
+use sdpcm::core::experiments::{self, run_cell};
+use sdpcm::core::{ExperimentParams, Scheme};
+use sdpcm::osalloc::NmRatio;
+use sdpcm::trace::BenchKind;
+
+fn params() -> ExperimentParams {
+    ExperimentParams {
+        refs_per_core: 1_500,
+        ..ExperimentParams::quick_test()
+    }
+}
+
+#[test]
+fn table1_reproduces_exactly() {
+    let rows = experiments::table1();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].direction, "Word-line");
+    assert!((rows[0].temp_c - 310.0).abs() < 0.5);
+    assert!((rows[0].error_rate - 0.099).abs() < 1e-6);
+    assert_eq!(rows[1].direction, "Bit-line");
+    assert!((rows[1].temp_c - 320.0).abs() < 0.5);
+    assert!((rows[1].error_rate - 0.115).abs() < 1e-6);
+}
+
+#[test]
+fn fig4_shape_bitline_dominates_and_gems_is_mildest() {
+    // Paper: WL errors well mitigated (avg ~0.4); up to 9 errors per
+    // adjacent line; gemsFDTD flips few bits so it has the fewest errors.
+    let p = params();
+    let mcf = run_cell(Scheme::baseline(), BenchKind::Mcf, &p);
+    let gems = run_cell(Scheme::baseline(), BenchKind::GemsFdtd, &p);
+
+    let mcf_bl = mcf.ctrl.bl_errors_per_neighbor.mean();
+    let mcf_wl = mcf.ctrl.wl_errors.mean();
+    assert!(
+        mcf_bl > mcf_wl,
+        "bit-line errors dominate: {mcf_bl} vs {mcf_wl}"
+    );
+    assert!(mcf_wl < 2.0, "DIN keeps word-line errors low: {mcf_wl}");
+    assert!(
+        mcf.ctrl.bl_errors_per_neighbor.max_observed().unwrap_or(0) >= 5,
+        "heavy writes occasionally disturb many cells at once"
+    );
+    assert!(
+        gems.ctrl.bl_errors_per_neighbor.mean() < mcf_bl / 2.0,
+        "gemsFDTD changes fewer bits and must see far fewer errors"
+    );
+}
+
+#[test]
+fn fig5_shape_vnc_overhead_splits_into_verify_and_correct() {
+    let p = params();
+    let din = run_cell(Scheme::din(), BenchKind::Lbm, &p);
+    let vnc = run_cell(Scheme::baseline(), BenchKind::Lbm, &p);
+    let total = vnc.cpi() / din.cpi() - 1.0;
+    assert!(total > 0.10, "basic VnC has substantial overhead: {total}");
+    let v = vnc.ctrl.phases.verification_total();
+    let c = vnc.ctrl.phases.correction_total();
+    assert!(v.0 > 0 && c.0 > 0, "both components present");
+}
+
+#[test]
+fn fig12_13_shape_ecp_entries_slash_corrections() {
+    // ECP-0 degenerates to basic VnC (~1.8 corrections/write in the
+    // paper); ECP-6 nearly eliminates corrections and improves speed.
+    let bench = BenchKind::Mcf;
+    let p0 = ExperimentParams {
+        ecp_entries: 0,
+        ..params()
+    };
+    let p6 = ExperimentParams {
+        ecp_entries: 6,
+        ..params()
+    };
+    let ecp0 = run_cell(Scheme::baseline(), bench, &p0);
+    let ecp6 = run_cell(Scheme::lazyc(), bench, &p6);
+
+    let c0 = ecp0.ctrl.corrections_per_write();
+    let c6 = ecp6.ctrl.corrections_per_write();
+    assert!(
+        c0 > 1.0,
+        "ECP-0 corrects nearly every write's neighbours: {c0}"
+    );
+    assert!(c6 < 0.3, "ECP-6 buffers almost everything: {c6}");
+    assert!(
+        ecp6.speedup_vs(&ecp0) > 1.05,
+        "more ECP entries must speed things up"
+    );
+}
+
+#[test]
+fn fig14_shape_aging_costs_little() {
+    let rows = experiments::fig14(
+        &ExperimentParams {
+            refs_per_core: 600,
+            ..params()
+        },
+        &[0.0, 1.0],
+    );
+    assert_eq!(rows.len(), 2);
+    let eol = rows[1].speedup_vs_fresh;
+    assert!(eol <= 1.01, "aging cannot help: {eol}");
+    assert!(eol > 0.9, "end-of-life degradation stays small: {eol}");
+}
+
+#[test]
+fn fig15_shape_bigger_queues_help_preread() {
+    let bench = BenchKind::Mcf;
+    let speedup_at = |q: usize| {
+        let p = ExperimentParams {
+            write_queue_cap: q,
+            refs_per_core: 2_000,
+            ..params()
+        };
+        let base = run_cell(Scheme::baseline(), bench, &p);
+        run_cell(Scheme::lazyc_preread(), bench, &p).speedup_vs(&base)
+    };
+    let s8 = speedup_at(8);
+    let s64 = speedup_at(64);
+    assert!(
+        s64 > s8 * 0.95,
+        "a larger write queue must not hurt PreRead: 8→{s8}, 64→{s64}"
+    );
+}
+
+#[test]
+fn fig16_shape_ratio_dial_is_monotone() {
+    // 1:2 best, then 2:3, then 3:4, then 1:1 (Figure 16's monotone dial).
+    let bench = BenchKind::Lbm;
+    let p = ExperimentParams {
+        refs_per_core: 2_000,
+        ..params()
+    };
+    let base = run_cell(Scheme::baseline(), bench, &p);
+    let s = |r: NmRatio| run_cell(Scheme::baseline_with_ratio(r), bench, &p).speedup_vs(&base);
+    let s12 = s(NmRatio::one_two());
+    let s23 = s(NmRatio::two_three());
+    let s34 = s(NmRatio::three_four());
+    assert!(
+        s12 > s23 && s23 > s34 && s34 > 0.95,
+        "monotone ratio dial violated: 1:2={s12} 2:3={s23} 3:4={s34}"
+    );
+}
+
+#[test]
+fn fig17_18_shape_ecp_chip_ages_faster_than_data_chips() {
+    let p = params();
+    let r = run_cell(Scheme::lazyc(), BenchKind::Mcf, &p);
+    let data = r.wear.data_lifetime_norm();
+    let ecp = r.wear.ecp_lifetime_norm();
+    assert!(data > 0.99, "data-chip degradation is tiny: {data}");
+    assert!(
+        ecp < data,
+        "ECP chip carries the WD records: {ecp} vs {data}"
+    );
+    assert!(ecp > 0.5, "but the ECP chip is not devastated: {ecp}");
+}
+
+#[test]
+fn capacity_comparisons_match_section_6_1() {
+    let c = sdpcm::pcm::capacity::equal_area_comparison();
+    assert!((c.improvement - 0.80).abs() < 0.01);
+    let (din, sd, _) = sdpcm::pcm::capacity::equal_size_chip_comparison();
+    assert_eq!((din, sd), (18, 10));
+}

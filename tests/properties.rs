@@ -1,0 +1,255 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: differential writes, DIN coding, ECP tables, the buddy
+//! allocator, (n:m) marking, and the vulnerable-pattern analysis.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sdpcm::engine::SimRng;
+use sdpcm::memctrl::StartGap;
+use sdpcm::osalloc::buddy::BuddyAllocator;
+use sdpcm::osalloc::dma::DmaController;
+use sdpcm::osalloc::NmRatio;
+use sdpcm::pcm::ecp::{EcpKind, EcpTable};
+use sdpcm::pcm::line::{DiffMask, LineBuf};
+use sdpcm::trace::stream::StreamKernels;
+use sdpcm::wd::din::{DinCodec, DinFlags};
+use sdpcm::wd::pattern::{bitline_vulnerable, wordline_vulnerable};
+
+fn line_strategy() -> impl Strategy<Value = LineBuf> {
+    proptest::array::uniform8(any::<u64>()).prop_map(LineBuf::from_words)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn diff_apply_realizes_target(old in line_strategy(), new in line_strategy()) {
+        let d = DiffMask::between(&old, &new);
+        prop_assert_eq!(d.apply(&old), new);
+        // SETs and RESETs partition the changed bits.
+        prop_assert_eq!(d.set_count() + d.reset_count(), old.xor(&new).count_ones());
+        // A diff against self is empty.
+        prop_assert!(DiffMask::between(&new, &new).is_empty());
+    }
+
+    #[test]
+    fn diff_masks_are_disjoint(old in line_strategy(), new in line_strategy()) {
+        let d = DiffMask::between(&old, &new);
+        for b in 0..512 {
+            prop_assert!(!(d.is_set(b) && d.is_reset(b)), "bit {} both set and reset", b);
+            if d.is_programmed(b) {
+                prop_assert_ne!(old.bit(b), new.bit(b));
+            } else {
+                prop_assert_eq!(old.bit(b), new.bit(b));
+            }
+        }
+    }
+
+    #[test]
+    fn line_byte_roundtrip(l in line_strategy()) {
+        prop_assert_eq!(LineBuf::from_bytes(&l.to_bytes()), l);
+        let ones: Vec<usize> = l.iter_ones().collect();
+        prop_assert_eq!(ones.len() as u32, l.count_ones());
+    }
+
+    #[test]
+    fn din_roundtrips_any_history(
+        plains in vec(line_strategy(), 1..6),
+        group_pow in 3usize..7, // 8..64-bit groups
+    ) {
+        let codec = DinCodec::new(1 << group_pow);
+        let mut stored = LineBuf::zeroed();
+        let mut flags = DinFlags::default();
+        for plain in plains {
+            let (enc, f) = codec.encode(&plain, &stored, flags);
+            prop_assert_eq!(codec.decode(&enc, f), plain);
+            stored = enc;
+            flags = f;
+        }
+    }
+
+    #[test]
+    fn din_never_beats_raw_at_vulnerability(
+        old in line_strategy(),
+        new in line_strategy(),
+    ) {
+        // The encoder's greedy choice must not be worse than identity
+        // coding when starting from identical stored state.
+        let codec = DinCodec::paper_default();
+        let raw_diff = DiffMask::between(&old, &new);
+        let raw_victims = wordline_vulnerable(&new, &raw_diff).len();
+        let (enc, _) = codec.encode(&new, &old, DinFlags::default());
+        let din_diff = DiffMask::between(&old, &enc);
+        let din_victims = wordline_vulnerable(&enc, &din_diff).len();
+        prop_assert!(din_victims <= raw_victims,
+            "DIN produced more victims ({}) than identity ({})", din_victims, raw_victims);
+    }
+
+    #[test]
+    fn vulnerable_patterns_follow_the_rules(
+        old in line_strategy(),
+        new in line_strategy(),
+        neighbor in line_strategy(),
+    ) {
+        let diff = DiffMask::between(&old, &new);
+        for v in wordline_vulnerable(&new, &diff) {
+            let b = v as usize;
+            prop_assert!(!diff.is_programmed(b), "victim must be idle");
+            prop_assert!(!new.bit(b), "victim must store 0");
+            let l = b > 0 && diff.is_reset(b - 1);
+            let r = b + 1 < 512 && diff.is_reset(b + 1);
+            prop_assert!(l || r, "victim must neighbour a RESET");
+        }
+        for v in bitline_vulnerable(&diff, &neighbor) {
+            let b = v as usize;
+            prop_assert!(diff.is_reset(b), "bit-line victim under a RESET position");
+            prop_assert!(!neighbor.bit(b), "bit-line victim stores 0");
+        }
+    }
+
+    #[test]
+    fn ecp_patch_fixes_exactly_recorded_cells(
+        raw in line_strategy(),
+        entries in vec((0u16..512, any::<bool>()), 0..6),
+    ) {
+        let mut t = EcpTable::new(6);
+        for (bit, val) in &entries {
+            prop_assert!(t.try_record(*bit, *val, EcpKind::Disturb));
+        }
+        let patched = t.patch(&raw);
+        for b in 0..512u16 {
+            let expected = t.entries().iter().find(|e| e.bit == b)
+                .map_or(raw.bit(b as usize), |e| e.value);
+            prop_assert_eq!(patched.bit(b as usize), expected);
+        }
+    }
+
+    #[test]
+    fn ecp_capacity_is_respected(
+        cap in 0usize..8,
+        bits in vec(0u16..512, 0..20),
+    ) {
+        let mut t = EcpTable::new(cap);
+        for b in bits {
+            let _ = t.try_record(b, false, EcpKind::Disturb);
+            prop_assert!(t.entries().len() <= cap);
+            prop_assert_eq!(t.free_slots(), cap - t.entries().len());
+        }
+        t.clear_disturb();
+        prop_assert_eq!(t.free_slots(), cap);
+    }
+
+    #[test]
+    fn buddy_conservation(
+        total in 1u64..512,
+        ops in vec((0u8..5, any::<bool>()), 1..40),
+    ) {
+        let mut b = BuddyAllocator::new(total);
+        let mut held: Vec<(u64, u8)> = Vec::new();
+        for (order, free_instead) in ops {
+            if free_instead && !held.is_empty() {
+                let (base, order) = held.swap_remove(0);
+                b.free(base, order);
+            } else if let Some(base) = b.alloc(order) {
+                // Alignment and range invariants.
+                prop_assert_eq!(base % (1 << order), 0);
+                prop_assert!(base + (1 << order) <= total);
+                held.push((base, order));
+            }
+            let held_pages: u64 = held.iter().map(|(_, o)| 1u64 << o).sum();
+            prop_assert_eq!(b.free_pages() + held_pages, total);
+        }
+        // Outstanding blocks never overlap.
+        let mut pages = std::collections::HashSet::new();
+        for (base, order) in &held {
+            for p in *base..*base + (1 << order) {
+                prop_assert!(pages.insert(p), "page {} double-owned", p);
+            }
+        }
+    }
+
+    #[test]
+    fn nm_marking_is_periodic_within_blocks(n in 1u8..5, m_extra in 0u8..4, strip in 0u64..100_000) {
+        let m = n + m_extra;
+        let ratio = NmRatio::new(n, m);
+        // Marking depends only on the position within the 64 MB block.
+        let in_block = strip % 1024;
+        let twin = (strip + 1024 * 7) % (1024 * 128); // same position, other block
+        let twin = twin - twin % 1024 + in_block;
+        prop_assert_eq!(ratio.is_nouse_strip(strip), ratio.is_nouse_strip(twin));
+        // (n:m) marks exactly m-n positions per full group.
+        let marked = (0..u64::from(m)).filter(|&p| ratio.is_nouse_strip(p)).count();
+        if u64::from(m) <= 1024 {
+            prop_assert_eq!(marked, usize::from(m - n));
+        }
+    }
+
+    #[test]
+    fn start_gap_stays_bijective_and_in_range(
+        n in 2u64..64,
+        moves in 0u32..300,
+    ) {
+        let mut sg = StartGap::new(n, 1);
+        for _ in 0..moves {
+            let mv = sg.advance_gap();
+            prop_assert!(mv.from <= n && mv.to <= n);
+            prop_assert_ne!(mv.from, mv.to);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for la in 0..n {
+            let pa = sg.map(la);
+            prop_assert!(pa <= n);
+            prop_assert!(seen.insert(pa), "collision at logical {}", la);
+        }
+    }
+
+    #[test]
+    fn stream_kernels_cover_all_arrays(pages in 1u64..8, take in 100usize..2000) {
+        let mut s = StreamKernels::new(0, pages, 5, SimRng::from_seed(9));
+        let total = s.total_pages();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for _ in 0..take {
+            let r = s.next_ref();
+            prop_assert!(r.vpage < total);
+            prop_assert!(u64::from(r.slot) < 64);
+            prop_assert!(r.gap >= 1);
+            if r.is_write {
+                writes += 1;
+                prop_assert!(r.flip_bits >= 1);
+            } else {
+                reads += 1;
+                prop_assert_eq!(r.flip_bits, 0);
+            }
+        }
+        // 3:2 read:write within rounding of partial kernels.
+        prop_assert!(reads + writes == take as u64);
+    }
+
+    #[test]
+    fn dma_one_two_walks_are_usable_and_monotone(
+        base_strip in 0u64..64,
+        frames in 1u64..200,
+    ) {
+        let d = DmaController::new();
+        let base = base_strip * 2 * 16; // even strip start
+        let walk = d.walk(NmRatio::one_two(), base, frames).unwrap();
+        prop_assert_eq!(walk.len() as u64, frames);
+        prop_assert!(walk.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(walk.iter().all(|f| (f / 16) % 2 == 0));
+    }
+
+    #[test]
+    fn reset_only_masks_only_reset(bits in vec(0usize..512, 0..32)) {
+        let d = DiffMask::reset_only(&bits);
+        prop_assert_eq!(d.set_count(), 0);
+        for b in &bits {
+            prop_assert!(d.is_reset(*b));
+        }
+        let mut unique = bits.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(d.reset_count() as usize, unique.len());
+    }
+}
