@@ -5,6 +5,8 @@ use sdpcm_osalloc::NmRatio;
 use sdpcm_pcm::geometry::MemGeometry;
 use sdpcm_trace::Workload;
 
+use crate::error::ConfigError;
+
 /// A complete evaluated configuration: controller mechanisms plus the
 /// page-allocation ratio every application uses (§5.3 assumes one
 /// allocator per application).
@@ -143,22 +145,46 @@ impl ExperimentParams {
         }
     }
 
-    /// Sizes a device geometry that fits `workload` under `ratio`,
-    /// with slack for the allocator's block granularity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the required geometry would exceed the real 8 GB device.
-    #[must_use]
-    pub fn geometry_for(&self, workload: &Workload, ratio: NmRatio) -> MemGeometry {
+    /// Rejects parameter sets the simulators cannot run with: zero-sized
+    /// queues or reference quotas, and aging fractions outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.refs_per_core == 0 {
+            return Err(ConfigError::ZeroField {
+                field: "refs_per_core",
+            });
+        }
+        if self.write_queue_cap == 0 {
+            return Err(ConfigError::ZeroField {
+                field: "write_queue_cap",
+            });
+        }
+        if let Some(age) = self.dimm_age {
+            if !(0.0..=1.0).contains(&age) {
+                return Err(ConfigError::AgeOutOfRange { value: age });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sizes a device geometry that fits `workload` under `ratio`, with
+    /// slack for the allocator's block granularity. Fails when the
+    /// required geometry would exceed the real 8 GB device.
+    pub fn geometry_for(
+        &self,
+        workload: &Workload,
+        ratio: NmRatio,
+    ) -> Result<MemGeometry, ConfigError> {
         let demand = workload.total_pages() as f64 / ratio.capacity_fraction();
         let padded = (demand * 1.5) as u64 + 1024;
         let rows_per_bank = padded.div_ceil(16).max(64);
-        assert!(
-            rows_per_bank <= 128 * 1024,
-            "workload does not fit the 8 GB device"
-        );
-        MemGeometry::small(rows_per_bank as u32)
+        const LIMIT: u64 = 128 * 1024;
+        if rows_per_bank > LIMIT {
+            return Err(ConfigError::WorkloadTooLarge {
+                rows_per_bank,
+                limit: LIMIT,
+            });
+        }
+        Ok(MemGeometry::small(rows_per_bank as u32))
     }
 }
 
@@ -204,10 +230,36 @@ mod tests {
     fn geometry_scales_with_ratio() {
         let p = ExperimentParams::quick_test();
         let w = sdpcm_trace::Workload::homogeneous(BenchKind::Wrf);
-        let g11 = p.geometry_for(&w, NmRatio::one_one());
-        let g12 = p.geometry_for(&w, NmRatio::one_two());
+        let g11 = p.geometry_for(&w, NmRatio::one_one()).unwrap();
+        let g12 = p.geometry_for(&w, NmRatio::one_two()).unwrap();
         assert!(g12.total_pages() > g11.total_pages());
         assert!(g11.total_pages() >= w.total_pages());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_params() {
+        use crate::error::ConfigError;
+        assert!(ExperimentParams::quick_test().validate().is_ok());
+        let p = ExperimentParams {
+            refs_per_core: 0,
+            ..ExperimentParams::quick_test()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ConfigError::ZeroField {
+                field: "refs_per_core"
+            })
+        );
+        let p = ExperimentParams {
+            write_queue_cap: 0,
+            ..ExperimentParams::quick_test()
+        };
+        assert!(p.validate().is_err());
+        let p = ExperimentParams {
+            dimm_age: Some(1.2),
+            ..ExperimentParams::quick_test()
+        };
+        assert_eq!(p.validate(), Err(ConfigError::AgeOutOfRange { value: 1.2 }));
     }
 
     #[test]

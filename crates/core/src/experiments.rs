@@ -16,9 +16,18 @@ use crate::metrics::RunStats;
 use crate::system::SystemSim;
 
 /// Runs one (scheme, benchmark) cell.
+///
+/// # Panics
+///
+/// Panics on a simulation error: the figure runners are driven with
+/// known-good scheme/parameter combinations, so an error here is a bug
+/// worth stopping the whole sweep for. Use [`SystemSim`] directly to
+/// handle [`crate::SdpcmError`] yourself.
 #[must_use]
 pub fn run_cell(scheme: Scheme, bench: BenchKind, params: &ExperimentParams) -> RunStats {
-    SystemSim::build(scheme, bench, params).run()
+    SystemSim::build(scheme, bench, params)
+        .and_then(|mut sim| sim.run())
+        .expect("figure runners use known-good configurations")
 }
 
 /// Table 1: disturbance probability for 4F² cells.

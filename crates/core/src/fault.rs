@@ -1,0 +1,119 @@
+//! System-level fault scenarios for the chaos-injection harness.
+//!
+//! A [`FaultPlan`] is the experiment-facing builder over
+//! [`sdpcm_wd::chaos::ChaosPlan`]: it collects scheduled faults in plain
+//! terms (storm windows, stuck-at bursts, aging ramps), validates them on
+//! [`FaultPlan::build`], and installs into a simulator via
+//! [`crate::SystemSim::install_fault_plan`]. Scenarios are keyed on the
+//! committed-write count, so the same seed and plan replay bit-exactly —
+//! the property the reproducibility tests pin down.
+
+use sdpcm_wd::chaos::{ChaosError, ChaosPlan, FaultKind, ScheduledFault};
+
+/// A builder for deterministic fault scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_core::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .storm(200, 8.0, 400)
+///     .stuck_burst(500, 4, 3)
+///     .aging_ramp(800, 0.9)
+///     .build()
+///     .unwrap();
+/// assert_eq!(plan.faults().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty scenario.
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules an elevated-disturbance window: both WD probabilities
+    /// are multiplied by `mult` for the `duration_writes` committed
+    /// writes after write number `at_write`.
+    #[must_use]
+    pub fn storm(mut self, at_write: u64, mult: f64, duration_writes: u64) -> FaultPlan {
+        self.faults.push(ScheduledFault {
+            at_write,
+            kind: FaultKind::Storm {
+                mult,
+                duration_writes,
+            },
+        });
+        self
+    }
+
+    /// Schedules a burst of permanent cell failures: `cells_per_line`
+    /// stuck-at cells on each of `lines` lines near the working set.
+    #[must_use]
+    pub fn stuck_burst(mut self, at_write: u64, lines: u32, cells_per_line: u16) -> FaultPlan {
+        self.faults.push(ScheduledFault {
+            at_write,
+            kind: FaultKind::StuckBurst {
+                lines,
+                cells_per_line,
+            },
+        });
+        self
+    }
+
+    /// Schedules a DIMM aging step to `lifetime_fraction` of consumed
+    /// lifetime (drives the hard-error model for lines touched after).
+    #[must_use]
+    pub fn aging_ramp(mut self, at_write: u64, lifetime_fraction: f64) -> FaultPlan {
+        self.faults.push(ScheduledFault {
+            at_write,
+            kind: FaultKind::AgingRamp { lifetime_fraction },
+        });
+        self
+    }
+
+    /// Whether the scenario schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Validates the scenario into an executable [`ChaosPlan`].
+    pub fn build(self) -> Result<ChaosPlan, ChaosError> {
+        ChaosPlan::new(self.faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_by_trigger() {
+        let plan = FaultPlan::new()
+            .stuck_burst(900, 2, 1)
+            .storm(100, 4.0, 50)
+            .build()
+            .unwrap();
+        assert_eq!(plan.faults()[0].at_write, 100);
+        assert_eq!(plan.faults()[1].at_write, 900);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_faults() {
+        assert!(matches!(
+            FaultPlan::new().storm(0, -2.0, 10).build(),
+            Err(ChaosError::InvalidStormMult { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new().aging_ramp(0, 2.0).build(),
+            Err(ChaosError::InvalidAge { .. })
+        ));
+        assert!(FaultPlan::new().is_empty());
+    }
+}

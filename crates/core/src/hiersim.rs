@@ -26,6 +26,7 @@ use sdpcm_trace::addr::{AddressStream, LINES_PER_PAGE};
 use sdpcm_trace::{BenchKind, Workload};
 
 use crate::config::{ExperimentParams, Scheme};
+use crate::error::{MapError, SdpcmError, SimError};
 use crate::metrics::RunStats;
 
 /// Knobs specific to hierarchy mode.
@@ -91,8 +92,9 @@ struct HCore {
 ///     BenchKind::Wrf,
 ///     &ExperimentParams::quick_test(),
 ///     &HierarchyParams::quick_test(),
-/// );
-/// let stats = sim.run();
+/// )
+/// .unwrap();
+/// let stats = sim.run().unwrap();
 /// assert!(stats.total_cycles > 0);
 /// ```
 pub struct HierarchySim {
@@ -119,23 +121,24 @@ impl std::fmt::Debug for HierarchySim {
 
 impl HierarchySim {
     /// Builds the system: eight copies of `bench`, each core with its own
-    /// private cache stack and OS page mapping.
-    #[must_use]
+    /// private cache stack and OS page mapping. Fails when the parameters
+    /// are degenerate or the workload does not fit the device.
     pub fn build(
         scheme: Scheme,
         bench: BenchKind,
         params: &ExperimentParams,
         hparams: &HierarchyParams,
-    ) -> HierarchySim {
+    ) -> Result<HierarchySim, SdpcmError> {
         let workload = Workload::homogeneous(bench);
+        params.validate()?;
         let mut rng = SimRng::from_seed_label(params.seed, "hier-system");
-        let geometry = params.geometry_for(&workload, scheme.ratio);
+        let geometry = params.geometry_for(&workload, scheme.ratio)?;
         let cfg = CtrlConfig {
             write_queue_cap: params.write_queue_cap,
             ecp_entries: params.ecp_entries,
             ..CtrlConfig::table2(scheme.ctrl)
         };
-        let ctrl = MemoryController::new(cfg, geometry, rng.derive("ctrl"));
+        let ctrl = MemoryController::try_new(cfg, geometry, rng.derive("ctrl"))?;
 
         let mut os = NmAllocator::new(geometry.total_pages());
         let mut tables = Vec::new();
@@ -143,7 +146,7 @@ impl HierarchySim {
         for (core, pages) in workload.pages_per_core().into_iter().enumerate() {
             let frames = os
                 .alloc_pages(scheme.ratio, pages)
-                .expect("geometry_for sized the device to fit");
+                .ok_or(MapError::DeviceFull { core, pages })?;
             let mut table = PageTable::new();
             for (vpage, frame) in frames.into_iter().enumerate() {
                 table.map(vpage as u64, frame, scheme.ratio);
@@ -166,7 +169,7 @@ impl HierarchySim {
             });
         }
 
-        HierarchySim {
+        Ok(HierarchySim {
             scheme,
             workload_name: workload.name().to_owned(),
             hparams: *hparams,
@@ -177,7 +180,7 @@ impl HierarchySim {
             next_id: 0,
             pcm_fills: 0,
             pcm_writebacks: 0,
-        }
+        })
     }
 
     /// The controller (diagnostics).
@@ -192,22 +195,22 @@ impl HierarchySim {
         (self.pcm_fills, self.pcm_writebacks)
     }
 
-    fn translate(&self, core: usize, vline: u64) -> LineAddr {
+    fn translate(&self, core: usize, vline: u64) -> Result<LineAddr, MapError> {
         let vpage = vline / LINES_PER_PAGE;
         let slot = (vline % LINES_PER_PAGE) as u8;
         let pte = self.tables[core]
             .translate(vpage)
-            .expect("working set fully mapped");
+            .ok_or(MapError::WorkingSetUnmapped { core, vpage })?;
         let (bank, row) = self
             .ctrl
             .store()
             .geometry()
             .page_to_bank_row(PageId(pte.frame));
-        LineAddr { bank, row, slot }
+        Ok(LineAddr { bank, row, slot })
     }
 
-    fn submit_writeback(&mut self, core: usize, vline: u64, now: Cycle) {
-        let addr = self.translate(core, vline);
+    fn submit_writeback(&mut self, core: usize, vline: u64, now: Cycle) -> Result<(), SdpcmError> {
+        let addr = self.translate(core, vline)?;
         let mut data = self.ctrl.latest_architectural(addr);
         // A dirty line differs from memory in a few dozen cells.
         for _ in 0..48 {
@@ -228,15 +231,17 @@ impl HierarchySim {
                 arrive: now,
             },
             now,
-        );
+        )?;
+        Ok(())
     }
 
     /// Runs to completion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a scheduling livelock (would indicate a bug).
-    pub fn run(&mut self) -> RunStats {
+    /// Returns [`SimError::Livelock`] when the event loop stops making
+    /// progress, and propagates controller and translation errors.
+    pub fn run(&mut self) -> Result<RunStats, SdpcmError> {
         let quota = self.hparams.accesses_per_core;
         let mut guard = 0u64;
         loop {
@@ -254,12 +259,14 @@ impl HierarchySim {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
-                (None, None) => unreachable!("unfinished cores but nothing scheduled"),
+                (None, None) => return Err(self.livelock(Cycle::MAX)),
             };
             guard += 1;
-            assert!(guard < 500_000_000, "hierarchy sim livelock");
+            if guard >= 500_000_000 {
+                return Err(self.livelock(now));
+            }
 
-            for done in self.ctrl.advance(now) {
+            for done in self.ctrl.advance(now)? {
                 if let Some(core) = self.inflight.remove(&done.id) {
                     self.cores[core].blocked_on = None;
                     self.cores[core].ready_at = done.at;
@@ -271,7 +278,7 @@ impl HierarchySim {
                 if c.finish.is_some() || c.blocked_on.is_some() || c.ready_at > now {
                     continue;
                 }
-                self.step_core(core, now, quota);
+                self.step_core(core, now, quota)?;
             }
         }
 
@@ -279,11 +286,11 @@ impl HierarchySim {
         let end = Cycle(self.total_cycles());
         self.ctrl.drain_all(end);
         while let Some(t) = self.ctrl.next_event() {
-            let _ = self.ctrl.advance(t);
+            let _ = self.ctrl.advance(t)?;
             self.ctrl.drain_all(t);
         }
 
-        RunStats {
+        Ok(RunStats {
             scheme: self.scheme.name.clone(),
             workload: format!("{}(hier)", self.workload_name),
             total_cycles: self.total_cycles(),
@@ -293,10 +300,20 @@ impl HierarchySim {
             ctrl: self.ctrl.stats().clone(),
             wear: *self.ctrl.store().wear(),
             energy: *self.ctrl.energy(),
-        }
+        })
     }
 
-    fn step_core(&mut self, core: usize, now: Cycle, quota: u64) {
+    /// Builds the livelock report with the controller's queue snapshot.
+    fn livelock(&self, now: Cycle) -> SdpcmError {
+        SimError::Livelock {
+            cycle: now.0,
+            refs_done: self.cores.iter().map(|c| c.accesses_done).sum(),
+            snapshot: self.ctrl.snapshot(now),
+        }
+        .into()
+    }
+
+    fn step_core(&mut self, core: usize, now: Cycle, quota: u64) -> Result<(), SdpcmError> {
         // One cache access.
         let (vpage, slot) = self.cores[core].stream.next_line();
         let vline = vpage * LINES_PER_PAGE + u64::from(slot);
@@ -312,7 +329,7 @@ impl HierarchySim {
         // Dirty evictions become posted PCM writes.
         let writebacks = out.pcm_writebacks.clone();
         for wb in writebacks {
-            self.submit_writeback(core, wb, now);
+            self.submit_writeback(core, wb, now)?;
         }
 
         let c = &mut self.cores[core];
@@ -322,7 +339,7 @@ impl HierarchySim {
 
         if let Some(fill_line) = out.pcm_fill {
             // L3 miss: the core blocks on the PCM read.
-            let addr = self.translate(core, fill_line);
+            let addr = self.translate(core, fill_line)?;
             let id = ReqId(self.next_id);
             self.next_id += 1;
             self.pcm_fills += 1;
@@ -338,7 +355,7 @@ impl HierarchySim {
                     arrive: after_caches,
                 },
                 after_caches,
-            );
+            )?;
         } else {
             self.cores[core].ready_at = after_caches;
         }
@@ -347,6 +364,7 @@ impl HierarchySim {
             self.cores[core].blocked_on = None;
             self.inflight.retain(|_, &mut c| c != core);
         }
+        Ok(())
     }
 
     fn total_cycles(&self) -> u64 {
@@ -369,8 +387,9 @@ mod tests {
             bench,
             &ExperimentParams::quick_test(),
             &HierarchyParams::quick_test(),
-        );
-        let stats = sim.run();
+        )
+        .unwrap();
+        let stats = sim.run().unwrap();
         let traffic = sim.pcm_traffic();
         (stats, traffic)
     }

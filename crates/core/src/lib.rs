@@ -19,6 +19,10 @@
 //!   plain rows that the bench harness formats.
 //! * [`hiersim`] — the alternative full-hierarchy front end: cores →
 //!   L1/L2/L3 → controller, for cache-sensitivity studies.
+//! * [`error`] — the typed [`error::SdpcmError`] hierarchy every
+//!   simulator entry point reports instead of panicking.
+//! * [`fault`] — [`fault::FaultPlan`]: deterministic chaos scenarios
+//!   (storms, stuck-at bursts, aging ramps) installed into a simulator.
 //!
 //! # Examples
 //!
@@ -27,18 +31,22 @@
 //! use sdpcm_trace::BenchKind;
 //!
 //! let params = ExperimentParams::quick_test();
-//! let mut sim = SystemSim::build(Scheme::din(), BenchKind::Stream, &params);
-//! let stats = sim.run();
+//! let mut sim = SystemSim::build(Scheme::din(), BenchKind::Stream, &params).unwrap();
+//! let stats = sim.run().unwrap();
 //! assert!(stats.total_cycles > 0);
 //! assert!(stats.reads > 0);
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod experiments;
+pub mod fault;
 pub mod hiersim;
 pub mod metrics;
 pub mod system;
 
 pub use config::{ExperimentParams, Scheme};
+pub use error::{ConfigError, MapError, SdpcmError, SimError};
+pub use fault::FaultPlan;
 pub use metrics::RunStats;
 pub use system::SystemSim;

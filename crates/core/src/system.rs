@@ -22,6 +22,8 @@ use sdpcm_pcm::wear::HardErrorModel;
 use sdpcm_trace::{BenchKind, MemRef, TraceGenerator, Workload};
 
 use crate::config::{ExperimentParams, Scheme};
+use crate::error::{MapError, SdpcmError, SimError};
+use crate::fault::FaultPlan;
 use crate::metrics::RunStats;
 
 struct Core {
@@ -61,31 +63,32 @@ impl std::fmt::Debug for SystemSim {
 
 impl SystemSim {
     /// Builds the system for eight copies of `bench` under `scheme`.
-    #[must_use]
-    pub fn build(scheme: Scheme, bench: BenchKind, params: &ExperimentParams) -> SystemSim {
+    pub fn build(
+        scheme: Scheme,
+        bench: BenchKind,
+        params: &ExperimentParams,
+    ) -> Result<SystemSim, SdpcmError> {
         SystemSim::build_workload(scheme, &Workload::homogeneous(bench), params)
     }
 
-    /// Builds the system for an arbitrary 8-core workload.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the workload does not fit the device under the scheme's
-    /// allocation ratio.
-    #[must_use]
+    /// Builds the system for an arbitrary 8-core workload. Fails when the
+    /// parameters are degenerate ([`ExperimentParams::validate`]) or the
+    /// workload does not fit the device under the scheme's allocation
+    /// ratio.
     pub fn build_workload(
         scheme: Scheme,
         workload: &Workload,
         params: &ExperimentParams,
-    ) -> SystemSim {
+    ) -> Result<SystemSim, SdpcmError> {
+        params.validate()?;
         let mut rng = SimRng::from_seed_label(params.seed, "system");
-        let geometry = params.geometry_for(workload, scheme.ratio);
+        let geometry = params.geometry_for(workload, scheme.ratio)?;
         let cfg = CtrlConfig {
             write_queue_cap: params.write_queue_cap,
             ecp_entries: params.ecp_entries,
             ..CtrlConfig::table2(scheme.ctrl)
         };
-        let mut ctrl = MemoryController::new(cfg, geometry, rng.derive("ctrl"));
+        let mut ctrl = MemoryController::try_new(cfg, geometry, rng.derive("ctrl"))?;
         if let Some(age) = params.dimm_age {
             ctrl.set_dimm_age(HardErrorModel::default(), age);
         }
@@ -94,10 +97,10 @@ impl SystemSim {
         let mut os = NmAllocator::new(geometry.total_pages());
         let mut tables = Vec::new();
         let mut tlbs = Vec::new();
-        for pages in workload.pages_per_core() {
+        for (core, pages) in workload.pages_per_core().into_iter().enumerate() {
             let frames = os
                 .alloc_pages(scheme.ratio, pages)
-                .expect("geometry_for sized the device to fit the workload");
+                .ok_or(MapError::DeviceFull { core, pages })?;
             let mut table = PageTable::new();
             for (vpage, frame) in frames.into_iter().enumerate() {
                 table.map(vpage as u64, frame, scheme.ratio);
@@ -123,7 +126,7 @@ impl SystemSim {
             })
             .collect();
 
-        SystemSim {
+        Ok(SystemSim {
             scheme,
             workload_name: workload.name().to_owned(),
             params: *params,
@@ -136,7 +139,7 @@ impl SystemSim {
             next_id: 0,
             reads_issued: 0,
             writes_issued: 0,
-        }
+        })
     }
 
     /// Immutable access to the controller (tests, diagnostics).
@@ -145,17 +148,25 @@ impl SystemSim {
         &self.ctrl
     }
 
+    /// Installs a chaos scenario: the plan is validated and handed to the
+    /// controller, which fires its faults as the committed-write counter
+    /// crosses their trigger points.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SdpcmError> {
+        self.ctrl.install_chaos(plan.build()?);
+        Ok(())
+    }
+
     /// Translates a core's virtual line position to its device address.
-    fn translate(&mut self, core: usize, vpage: u64, slot: u8) -> LineAddr {
+    fn translate(&mut self, core: usize, vpage: u64, slot: u8) -> Result<LineAddr, MapError> {
         let pte = self.tlbs[core]
             .translate(vpage, &self.tables[core])
-            .expect("working set fully mapped at build time");
+            .ok_or(MapError::WorkingSetUnmapped { core, vpage })?;
         let (bank, row) = self
             .ctrl
             .store()
             .geometry()
             .page_to_bank_row(sdpcm_pcm::geometry::PageId(pte.frame));
-        LineAddr { bank, row, slot }
+        Ok(LineAddr { bank, row, slot })
     }
 
     /// Synthesizes a write payload: flip `flips` distinct bits of the
@@ -176,11 +187,12 @@ impl SystemSim {
 
     /// Runs the simulation to completion and reports the statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a livelock (no simulated progress), which would indicate
-    /// a scheduling bug.
-    pub fn run(&mut self) -> RunStats {
+    /// Returns [`SimError::Livelock`] (with the controller's queue
+    /// snapshot) when the event loop stops making progress, and
+    /// propagates controller and translation errors.
+    pub fn run(&mut self) -> Result<RunStats, SdpcmError> {
         let quota = self.params.refs_per_core;
         let mut guard: u64 = 0;
         loop {
@@ -190,8 +202,9 @@ impl SystemSim {
             let core_t = self
                 .cores
                 .iter()
-                .filter(|c| c.blocked_read.is_none() && c.pending.is_some())
-                .map(|c| c.pending.as_ref().expect("filtered").1)
+                .filter(|c| c.blocked_read.is_none())
+                .filter_map(|c| c.pending.as_ref())
+                .map(|(_, at)| *at)
                 .min();
             let ctrl_t = self.ctrl.next_event();
             let now = match (core_t, ctrl_t) {
@@ -199,15 +212,19 @@ impl SystemSim {
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
                 (None, None) => {
-                    unreachable!("cores unfinished but nothing scheduled: scheduling bug")
+                    // Cores are unfinished but nothing is scheduled: the
+                    // loop can never progress again.
+                    return Err(self.livelock(Cycle::MAX));
                 }
             };
             guard += 1;
-            assert!(guard < 500_000_000, "system livelock at {now}");
+            if guard >= 500_000_000 {
+                return Err(self.livelock(now));
+            }
 
             // Deliver controller completions first: they may unblock
             // cores whose next issue is also at `now`.
-            for done in self.ctrl.advance(now) {
+            for done in self.ctrl.advance(now)? {
                 if done.was_write {
                     continue;
                 }
@@ -225,7 +242,7 @@ impl SystemSim {
                     Some((_, at)) if *at <= now && self.cores[core].blocked_read.is_none()
                 );
                 if ready {
-                    self.issue(core, now, quota);
+                    self.issue(core, now, quota)?;
                 }
             }
         }
@@ -235,11 +252,11 @@ impl SystemSim {
         let end = self.ctrl.next_event().unwrap_or(Cycle(self.total_cycles()));
         self.ctrl.drain_all(end);
         while let Some(t) = self.ctrl.next_event() {
-            let _ = self.ctrl.advance(t);
+            let _ = self.ctrl.advance(t)?;
             self.ctrl.drain_all(t);
         }
 
-        RunStats {
+        Ok(RunStats {
             scheme: self.scheme.name.clone(),
             workload: self.workload_name.clone(),
             total_cycles: self.total_cycles(),
@@ -249,7 +266,17 @@ impl SystemSim {
             ctrl: self.ctrl.stats().clone(),
             wear: *self.ctrl.store().wear(),
             energy: *self.ctrl.energy(),
+        })
+    }
+
+    /// Builds the livelock report with the controller's queue snapshot.
+    fn livelock(&self, now: Cycle) -> SdpcmError {
+        SimError::Livelock {
+            cycle: now.0,
+            refs_done: self.cores.iter().map(|c| c.refs_done).sum(),
+            snapshot: self.ctrl.snapshot(now),
         }
+        .into()
     }
 
     fn total_cycles(&self) -> u64 {
@@ -262,9 +289,11 @@ impl SystemSim {
     }
 
     /// Issues the pending reference of `core` at time `now`.
-    fn issue(&mut self, core: usize, now: Cycle, quota: u64) {
-        let (r, _) = self.cores[core].pending.take().expect("caller checked");
-        let addr = self.translate(core, r.vpage, r.slot);
+    fn issue(&mut self, core: usize, now: Cycle, quota: u64) -> Result<(), SdpcmError> {
+        let Some((r, _)) = self.cores[core].pending.take() else {
+            return Ok(()); // raced away; nothing to issue
+        };
+        let addr = self.translate(core, r.vpage, r.slot)?;
         if r.is_write {
             if !self.ctrl.can_accept_write(addr) {
                 // Queue full: stall until the controller makes progress.
@@ -273,7 +302,7 @@ impl SystemSim {
                     .next_event()
                     .map_or(now + Cycle(400), |t| t.max(now + Cycle(1)));
                 self.cores[core].pending = Some((r, retry));
-                return;
+                return Ok(());
             }
             let data = self.payload(addr, r.flip_bits);
             let id = self.fresh_id();
@@ -288,7 +317,7 @@ impl SystemSim {
                     arrive: now,
                 },
                 now,
-            );
+            )?;
             self.cores[core].refs_done += 1;
             self.next_ref(core, now, quota);
         } else {
@@ -306,9 +335,10 @@ impl SystemSim {
                     arrive: now,
                 },
                 now,
-            );
+            )?;
             self.cores[core].refs_done += 1;
         }
+        Ok(())
     }
 
     /// Prepares the core's next reference after time `at`, or marks it
@@ -344,7 +374,10 @@ mod tests {
             refs_per_core: 400,
             ..ExperimentParams::quick_test()
         };
-        SystemSim::build(scheme, bench, &params).run()
+        SystemSim::build(scheme, bench, &params)
+            .unwrap()
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -385,8 +418,14 @@ mod tests {
             refs_per_core: 2_000,
             ..ExperimentParams::quick_test()
         };
-        let din = SystemSim::build(Scheme::din(), BenchKind::Lbm, &params).run();
-        let alloc12 = SystemSim::build(Scheme::one_two_alloc(), BenchKind::Lbm, &params).run();
+        let din = SystemSim::build(Scheme::din(), BenchKind::Lbm, &params)
+            .unwrap()
+            .run()
+            .unwrap();
+        let alloc12 = SystemSim::build(Scheme::one_two_alloc(), BenchKind::Lbm, &params)
+            .unwrap()
+            .run()
+            .unwrap();
         let ratio = alloc12.speedup_vs(&din);
         assert!((ratio - 1.0).abs() < 0.12, "ratio={ratio}");
         // The mechanism itself is exact: (1:2) never verifies interior
@@ -410,12 +449,18 @@ mod tests {
             refs_per_core: 400,
             ..ExperimentParams::quick_test()
         };
-        let a = SystemSim::build(Scheme::baseline(), BenchKind::Lbm, &params).run();
+        let a = SystemSim::build(Scheme::baseline(), BenchKind::Lbm, &params)
+            .unwrap()
+            .run()
+            .unwrap();
         let params_b = ExperimentParams {
             seed: 1234,
             ..params
         };
-        let b = SystemSim::build(Scheme::baseline(), BenchKind::Lbm, &params_b).run();
+        let b = SystemSim::build(Scheme::baseline(), BenchKind::Lbm, &params_b)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_ne!(a.total_cycles, b.total_cycles);
     }
 }

@@ -6,9 +6,11 @@
 //! adding a new consumer of randomness (say, another injected fault site)
 //! does not shift the draws observed by existing components, which keeps
 //! experiments comparable across code revisions.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna)
+//! seeded through SplitMix64 — no external crates, fully deterministic
+//! across platforms, and fast enough that the RNG never shows up in
+//! profiles.
 
 /// A deterministic random stream tied to `(seed, label)`.
 ///
@@ -26,15 +28,25 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from a raw 64-bit seed.
     #[must_use]
     pub fn from_seed(seed: u64) -> SimRng {
+        // SplitMix64 expansion of the seed into the xoshiro state; the
+        // expanded words are never all zero.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [next(), next(), next(), next()],
         }
     }
 
@@ -51,13 +63,24 @@ impl SimRng {
     /// independent of each other and of the parent's future output.
     #[must_use]
     pub fn derive(&mut self, label: &str) -> SimRng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         SimRng::from_seed(fold_label(base, label))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -67,7 +90,15 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below() requires a positive bound");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift reduction with rejection: unbiased.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform `usize` index in `[0, len)`.
@@ -77,7 +108,7 @@ impl SimRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..len)
+        self.below(len as u64) as usize
     }
 
     /// Bernoulli trial: `true` with probability `p` (clamped to `[0,1]`).
@@ -88,12 +119,13 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the canonical [0, 1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A draw from the geometric distribution: number of failures before
@@ -225,6 +257,25 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(10) < 10);
             assert!(r.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn below_covers_the_range() {
+        let mut r = SimRng::from_seed(8);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn unit_is_half_open() {
+        let mut r = SimRng::from_seed(9);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 

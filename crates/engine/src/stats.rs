@@ -526,7 +526,7 @@ mod tests {
         assert_eq!(q.total(), 100);
         let p50 = q.quantile(0.5);
         let p99 = q.quantile(0.99);
-        assert!(p50 >= 400 && p50 < 1024, "p50={p50}");
+        assert!((400..1024).contains(&p50), "p50={p50}");
         assert!(p99 >= 65_536, "p99={p99}");
         assert!(q.quantile(1.0) >= p99);
     }

@@ -175,7 +175,11 @@ mod tests {
     #[test]
     fn bar_chart_scales_to_max() {
         let s = bar_chart(
-            &[("long-label".into(), 4.0), ("x".into(), 2.0), ("z".into(), 0.0)],
+            &[
+                ("long-label".into(), 4.0),
+                ("x".into(), 2.0),
+                ("z".into(), 0.0),
+            ],
             8,
         );
         let lines: Vec<&str> = s.lines().collect();

@@ -35,9 +35,11 @@ use sdpcm_pcm::line::{DiffMask, LineBuf};
 use sdpcm_pcm::store::{DeviceStore, InitContent};
 use sdpcm_pcm::timing::PcmTiming;
 use sdpcm_pcm::wear::{HardErrorModel, WriteClass};
+use sdpcm_wd::chaos::{ChaosAction, ChaosEngine, ChaosPlan, FaultEvent};
 use sdpcm_wd::din::{DinCodec, DinFlags};
 use sdpcm_wd::{DisturbanceModel, WdInjector};
 
+use crate::error::{BankSnapshot, CtrlError, CtrlSnapshot};
 use crate::req::{Access, AccessKind, Completion, ReqId};
 use crate::scheme::CtrlScheme;
 use crate::stats::CtrlStats;
@@ -62,6 +64,17 @@ pub struct CtrlConfig {
     pub forward_latency: Cycle,
     /// ECP entries per line (ECP-N; the paper's default is 6).
     pub ecp_entries: usize,
+    /// Degradation ladder, rung 1: LazyCorrection exhaustion events a
+    /// line may answer with plain verify-and-correct retries before it
+    /// is escalated.
+    pub ecp_retry_cap: u32,
+    /// Degradation ladder, rung 3: total exhaustion events after which
+    /// an escalated line is decommissioned into the salvage pool.
+    /// Must exceed `ecp_retry_cap`.
+    pub decommission_after: u32,
+    /// Capacity of the salvage pool (controller-held line buffers
+    /// serving decommissioned lines at `forward_latency`).
+    pub salvage_pool_lines: usize,
 }
 
 impl CtrlConfig {
@@ -75,9 +88,39 @@ impl CtrlConfig {
             scheme,
             forward_latency: Cycle(20),
             ecp_entries: 6,
+            ecp_retry_cap: 2,
+            decommission_after: 8,
+            salvage_pool_lines: 64,
         }
     }
+
+    /// Rejects configurations the controller cannot run with.
+    pub fn validate(&self) -> Result<(), CtrlError> {
+        if self.write_queue_cap == 0 {
+            return Err(CtrlError::InvalidConfig {
+                field: "write_queue_cap",
+                reason: "must be > 0",
+            });
+        }
+        if self.drain_burst == 0 {
+            return Err(CtrlError::InvalidConfig {
+                field: "drain_burst",
+                reason: "must be > 0",
+            });
+        }
+        if self.decommission_after <= self.ecp_retry_cap {
+            return Err(CtrlError::InvalidConfig {
+                field: "decommission_after",
+                reason: "must exceed ecp_retry_cap so every ladder rung can fire",
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Committed-write addresses remembered as chaos-burst victim
+/// candidates.
+const RECENT_WRITES_CAP: usize = 64;
 
 #[derive(Debug)]
 enum BankOp {
@@ -119,6 +162,21 @@ pub struct MemoryController {
     energy: EnergyMeter,
     start_gap: Option<Vec<StartGap>>,
     next_internal_id: u64,
+    /// Decommissioned lines and their architectural contents, served
+    /// from controller buffers at `forward_latency`.
+    salvaged: HashMap<LineAddr, LineBuf>,
+    /// LazyCorrection exhaustion events per line (degradation ladder).
+    distress: HashMap<LineAddr, u32>,
+    /// Lines past the retry cap: ECP buffering is no longer attempted.
+    escalated: HashSet<LineAddr>,
+    chaos: Option<ChaosEngine>,
+    fault_log: Vec<FaultEvent>,
+    /// Recently committed write targets — the victim pool for chaos
+    /// stuck-at bursts (bounded, deterministic order).
+    recent_writes: VecDeque<LineAddr>,
+    /// First broken deep invariant, surfaced as a `CtrlError` at the
+    /// next `submit`/`advance`.
+    pending_anomaly: Option<&'static str>,
     rng: SimRng,
 }
 
@@ -137,8 +195,24 @@ impl MemoryController {
     /// `rng` seeds both the disturbance injector and hard-error
     /// placement; two controllers built with equal arguments behave
     /// identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a configuration [`CtrlConfig::validate`] rejects; use
+    /// [`MemoryController::try_new`] for configurations taken from
+    /// user input.
     #[must_use]
-    pub fn new(cfg: CtrlConfig, geometry: MemGeometry, mut rng: SimRng) -> MemoryController {
+    pub fn new(cfg: CtrlConfig, geometry: MemGeometry, rng: SimRng) -> MemoryController {
+        MemoryController::try_new(cfg, geometry, rng).expect("valid controller configuration")
+    }
+
+    /// Fallible [`MemoryController::new`].
+    pub fn try_new(
+        cfg: CtrlConfig,
+        geometry: MemGeometry,
+        mut rng: SimRng,
+    ) -> Result<MemoryController, CtrlError> {
+        cfg.validate()?;
         // Lines hold (pseudorandom) program data before the first
         // simulated write reaches them — see `InitContent`.
         let init = InitContent::Pseudorandom(rng.derive("init-content").next_u64());
@@ -149,7 +223,7 @@ impl MemoryController {
             rng.derive("injector"),
         );
         let codec = cfg.scheme.din_wordline.then(DinCodec::paper_default);
-        MemoryController {
+        Ok(MemoryController {
             cfg,
             geometry,
             store,
@@ -174,8 +248,15 @@ impl MemoryController {
                     .collect()
             }),
             next_internal_id: u64::MAX,
+            salvaged: HashMap::new(),
+            distress: HashMap::new(),
+            escalated: HashSet::new(),
+            chaos: None,
+            fault_log: Vec::new(),
+            recent_writes: VecDeque::new(),
+            pending_anomaly: None,
             rng,
-        }
+        })
     }
 
     /// Controller configuration.
@@ -213,6 +294,77 @@ impl MemoryController {
         self.hard_plan = Some((model, lifetime_fraction));
     }
 
+    /// Installs a chaos scenario, replacing any previous one. Faults
+    /// fire as the committed-write counter crosses their trigger points.
+    pub fn install_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(ChaosEngine::new(plan));
+    }
+
+    /// Every chaos action executed so far, in order. Two same-seed runs
+    /// of the same scenario produce identical logs.
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.fault_log
+    }
+
+    /// Lines currently decommissioned into the salvage pool.
+    #[must_use]
+    pub fn salvaged_lines(&self) -> usize {
+        self.salvaged.len()
+    }
+
+    /// Captures queue state for diagnostics (livelock reports, error
+    /// payloads). Idle banks are omitted from the per-bank list.
+    #[must_use]
+    pub fn snapshot(&self, cycle: Cycle) -> CtrlSnapshot {
+        let banks: Vec<BankSnapshot> = self
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| {
+                b.op.is_some()
+                    || b.paused.is_some()
+                    || !b.read_q.is_empty()
+                    || !b.write_q.is_empty()
+            })
+            .map(|(i, b)| BankSnapshot {
+                bank: i as u16,
+                read_q: b.read_q.len(),
+                write_q: b.write_q.len(),
+                busy: b.op.is_some(),
+                paused: b.paused.is_some(),
+                draining: b.draining,
+            })
+            .collect();
+        CtrlSnapshot {
+            cycle,
+            in_flight: self.banks.iter().filter(|b| b.op.is_some()).count(),
+            queued_reads: self.banks.iter().map(|b| b.read_q.len()).sum(),
+            queued_writes: self.banks.iter().map(|b| b.write_q.len()).sum(),
+            banks,
+        }
+    }
+
+    /// Records a broken deep invariant; the first one is surfaced as a
+    /// [`CtrlError::InternalAnomaly`] at the next API-boundary call.
+    fn note_anomaly(&mut self, what: &'static str) {
+        self.stats.internal_anomalies.inc();
+        if self.pending_anomaly.is_none() {
+            self.pending_anomaly = Some(what);
+        }
+    }
+
+    /// Surfaces a pending anomaly, attaching the current queue state.
+    fn take_anomaly(&mut self, now: Cycle) -> Result<(), CtrlError> {
+        match self.pending_anomaly.take() {
+            Some(what) => Err(CtrlError::InternalAnomaly {
+                what,
+                snapshot: self.snapshot(now),
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Like [`MemoryController::architectural_line`], but `addr` is a
     /// *logical* address: the bank's Start-Gap mapping (if enabled) is
     /// applied first. Without Start-Gap the two are identical.
@@ -226,6 +378,9 @@ impl MemoryController {
     /// write payloads and by tests to check consistency.
     #[must_use]
     pub fn architectural_line(&self, addr: LineAddr) -> LineBuf {
+        if let Some(data) = self.salvaged.get(&addr) {
+            return *data;
+        }
         let patched = self.store.read_line(addr);
         match &self.codec {
             Some(codec) => {
@@ -242,7 +397,12 @@ impl MemoryController {
     /// back-pressure that makes bursty drains visible to the pipeline.
     #[must_use]
     pub fn can_accept_write(&self, addr: LineAddr) -> bool {
-        let addr = self.remap_addr(addr);
+        let Ok(addr) = self.try_remap_addr(addr) else {
+            return false; // unmappable writes can never be accepted
+        };
+        if self.salvaged.contains_key(&addr) {
+            return true; // served from the pool, no queue entry needed
+        }
         let b = &self.banks[addr.bank.0 as usize];
         b.write_q.len() < self.cfg.write_queue_cap
             || b.write_q.iter().any(|e| e.access.addr == addr)
@@ -334,74 +494,95 @@ impl MemoryController {
     /// Bank state is first brought current to `now`, so requests never
     /// interact with operations that should already have completed
     /// (completions stay buffered for the next [`MemoryController::advance`]).
-    pub fn submit(&mut self, access: Access, now: Cycle) {
-        let access = self.remap_start_gap(access);
+    ///
+    /// # Errors
+    ///
+    /// Rejects requests outside the geometry ([`CtrlError::BankOutOfRange`],
+    /// [`CtrlError::SpareLineAccess`]) or combining Start-Gap with a
+    /// non-(1:1) allocator ([`CtrlError::StartGapRatio`]); surfaces any
+    /// broken deep invariant as [`CtrlError::InternalAnomaly`].
+    pub fn submit(&mut self, access: Access, now: Cycle) -> Result<(), CtrlError> {
+        let access = self.remap_start_gap(access)?;
         let is_demand_write = access.kind.is_write();
         let bank = access.addr.bank.0 as usize;
-        self.submit_physical(access, now);
+        self.submit_physical(access, now)?;
         if is_demand_write {
             self.maybe_move_gap(bank, now);
         }
+        self.take_anomaly(now)
     }
 
     /// Submits a request whose address is already physical (post
     /// Start-Gap remapping) — also the entry point for internal gap-move
     /// copies.
-    fn submit_physical(&mut self, access: Access, now: Cycle) {
+    fn submit_physical(&mut self, access: Access, now: Cycle) -> Result<(), CtrlError> {
         let bank = access.addr.bank.0 as usize;
-        assert!(bank < self.banks.len(), "bank out of range");
+        if bank >= self.banks.len() {
+            return Err(CtrlError::BankOutOfRange {
+                bank: access.addr.bank.0,
+                banks: self.banks.len(),
+            });
+        }
         self.process_until(now);
         match access.kind {
             AccessKind::Read => self.submit_read(bank, access, now),
             AccessKind::Write(data) => self.submit_write(bank, access, data, now),
         }
         self.dispatch(bank, now);
+        Ok(())
     }
 
-    /// Applies the bank's Start-Gap mapping to a demand request.
-    ///
-    /// # Panics
-    ///
-    /// Panics if Start-Gap is combined with a non-(1:1) allocator (the
-    /// rotation would break strip marking) or the request touches the
-    /// spare line.
-    fn remap_start_gap(&self, access: Access) -> Access {
-        if self.start_gap.is_some() {
-            assert_eq!(
-                access.ratio,
-                NmRatio::one_one(),
-                "Start-Gap composes only with the (1:1) allocator"
-            );
+    /// Applies the bank's Start-Gap mapping to a demand request,
+    /// rejecting ratio/spare-line violations.
+    fn remap_start_gap(&self, access: Access) -> Result<Access, CtrlError> {
+        if self.start_gap.is_some() && access.ratio != NmRatio::one_one() {
+            return Err(CtrlError::StartGapRatio {
+                ratio: access.ratio,
+            });
         }
-        Access {
-            addr: self.remap_addr(access.addr),
+        Ok(Access {
+            addr: self.try_remap_addr(access.addr)?,
             ..access
-        }
+        })
     }
 
     /// Logical → physical line address under the bank's Start-Gap
-    /// mapping (identity without Start-Gap).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the address touches the bank's spare line.
-    fn remap_addr(&self, addr: LineAddr) -> LineAddr {
+    /// mapping (identity without Start-Gap). Rejects out-of-range banks
+    /// and the spare line.
+    fn try_remap_addr(&self, addr: LineAddr) -> Result<LineAddr, CtrlError> {
+        if addr.bank.0 as usize >= self.banks.len() {
+            return Err(CtrlError::BankOutOfRange {
+                bank: addr.bank.0,
+                banks: self.banks.len(),
+            });
+        }
         let Some(regions) = &self.start_gap else {
-            return addr;
+            return Ok(addr);
         };
         let lines_per_row = sdpcm_pcm::geometry::LINES_PER_ROW as u64;
         let la = u64::from(addr.row.0) * lines_per_row + u64::from(addr.slot);
         let sg = &regions[addr.bank.0 as usize];
-        assert!(
-            la < sg.logical_lines(),
-            "the last line of each bank is Start-Gap's spare slot"
-        );
+        if la >= sg.logical_lines() {
+            // The last line of each bank is Start-Gap's spare slot.
+            return Err(CtrlError::SpareLineAccess { addr });
+        }
         let pa = sg.map(la);
-        LineAddr {
+        Ok(LineAddr {
             bank: addr.bank,
             row: sdpcm_pcm::geometry::RowId((pa / lines_per_row) as u32),
             slot: (pa % lines_per_row) as u8,
-        }
+        })
+    }
+
+    /// [`MemoryController::try_remap_addr`] for the zero-time diagnostic
+    /// helpers, which promise a valid address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an address [`MemoryController::try_remap_addr`] rejects.
+    fn remap_addr(&self, addr: LineAddr) -> LineAddr {
+        self.try_remap_addr(addr)
+            .expect("diagnostic helpers are called with valid addresses")
     }
 
     /// Counts a demand write against the bank's gap schedule; every ψ-th
@@ -427,28 +608,34 @@ impl MemoryController {
         let data = self.latest_architectural_physical(from);
         let id = ReqId(self.next_internal_id);
         self.next_internal_id -= 1;
-        self.submit_physical(
-            Access {
-                id,
-                addr: to,
-                kind: AccessKind::Write(data),
-                ratio: NmRatio::one_one(),
-                core: u8::MAX,
-                arrive: now,
-            },
-            now,
-        );
+        let copy = Access {
+            id,
+            addr: to,
+            kind: AccessKind::Write(data),
+            ratio: NmRatio::one_one(),
+            core: u8::MAX,
+            arrive: now,
+        };
+        if self.submit_physical(copy, now).is_err() {
+            self.note_anomaly("Start-Gap copy targeted an invalid address");
+        }
     }
 
     /// Processes all bank activity up to `now`; returns completions due.
-    pub fn advance(&mut self, now: Cycle) -> Vec<Completion> {
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any broken deep invariant as
+    /// [`CtrlError::InternalAnomaly`] with a queue snapshot attached.
+    pub fn advance(&mut self, now: Cycle) -> Result<Vec<Completion>, CtrlError> {
         self.process_until(now);
+        self.take_anomaly(now)?;
         let (ready, later): (Vec<Completion>, Vec<Completion>) =
             self.completions.drain(..).partition(|c| c.at <= now);
         self.completions = later;
         let mut ready = ready;
         ready.sort_by_key(|c| (c.at, c.id));
-        ready
+        Ok(ready)
     }
 
     /// Completes every bank operation due by `now` and re-dispatches.
@@ -475,6 +662,24 @@ impl MemoryController {
     // ----- submission -----
 
     fn submit_read(&mut self, bank: usize, access: Access, now: Cycle) {
+        // Decommissioned lines live in controller buffers: no bank
+        // operation, no disturbance, `forward_latency` to answer.
+        if let Some(data) = self.salvaged.get(&access.addr).copied() {
+            self.stats.salvaged_reads.inc();
+            self.stats.reads.inc();
+            let at = now + self.cfg.forward_latency;
+            self.stats.read_latency_total += at - access.arrive;
+            self.stats
+                .read_latency_sketch
+                .record((at - access.arrive).0);
+            self.completions.push(Completion {
+                id: access.id,
+                at,
+                was_write: false,
+                data: Some(data),
+            });
+            return;
+        }
         // Forward from the write queue (newest entry wins) or from the
         // write job in flight.
         let forwarded = self.banks[bank]
@@ -520,6 +725,18 @@ impl MemoryController {
     }
 
     fn submit_write(&mut self, bank: usize, access: Access, data: LineBuf, now: Cycle) {
+        // Decommissioned lines absorb writes in their controller buffer.
+        if let Some(buf) = self.salvaged.get_mut(&access.addr) {
+            *buf = data;
+            self.stats.salvaged_writes.inc();
+            self.completions.push(Completion {
+                id: access.id,
+                at: now + self.cfg.forward_latency,
+                was_write: true,
+                data: None,
+            });
+            return;
+        }
         // Coalesce with a queued write to the same line.
         if let Some(e) = self.banks[bank]
             .write_q
@@ -591,10 +808,11 @@ impl MemoryController {
         loop {
             let b = &mut self.banks[bank];
             if b.draining {
-                if (wc || self.cfg.scheme.write_pausing) && !b.read_q.is_empty() {
-                    let access = b.read_q.pop_front().expect("checked non-empty");
-                    self.start_read(bank, access, now);
-                    return;
+                if wc || self.cfg.scheme.write_pausing {
+                    if let Some(access) = b.read_q.pop_front() {
+                        self.start_read(bank, access, now);
+                        return;
+                    }
                 }
                 if let Some(mut job) = b.paused.take() {
                     let dur = self.step_duration(&mut job);
@@ -604,11 +822,12 @@ impl MemoryController {
                 }
                 // Service one burst's worth of writes, then release the
                 // bank back to reads (end-of-run flushes go all the way).
-                if (b.drain_left > 0 || b.flushing) && !b.write_q.is_empty() {
-                    b.drain_left = b.drain_left.saturating_sub(1);
-                    let entry = b.write_q.pop_front().expect("non-empty checked");
-                    self.start_write(bank, entry, now);
-                    return;
+                if b.drain_left > 0 || b.flushing {
+                    if let Some(entry) = b.write_q.pop_front() {
+                        b.drain_left = b.drain_left.saturating_sub(1);
+                        self.start_write(bank, entry, now);
+                        return;
+                    }
                 }
                 b.draining = false;
                 b.flushing = false;
@@ -651,7 +870,8 @@ impl MemoryController {
 
     /// Which neighbours of this write need verification: scheme VnC off →
     /// none; otherwise the (n:m) policy decides, and physically absent
-    /// neighbours (bank edges) never need it.
+    /// neighbours (bank edges) or decommissioned ones (served from the
+    /// salvage pool, nothing architectural to protect) never need it.
     fn verify_need(&self, access: &Access) -> (bool, bool) {
         if !self.cfg.scheme.vnc {
             return (false, false);
@@ -659,7 +879,8 @@ impl MemoryController {
         let strip = self.geometry.strip_of(access.addr);
         let need = self.policy.need(access.ratio, strip);
         let nb = self.geometry.bitline_neighbors(access.addr);
-        (need.up && nb[0].is_some(), need.down && nb[1].is_some())
+        let live = |n: Option<LineAddr>| n.is_some_and(|n| !self.salvaged.contains_key(&n));
+        (need.up && live(nb[0]), need.down && live(nb[1]))
     }
 
     fn try_issue_preread(&mut self, bank: usize, now: Cycle) -> bool {
@@ -683,7 +904,7 @@ impl MemoryController {
                 let needed = match side {
                     Side::Up => need.up,
                     Side::Down => need.down,
-                } && nb[side.idx()].is_some();
+                } && nb[side.idx()].is_some_and(|n| !self.salvaged.contains_key(&n));
                 if needed && !pr_done[side.idx()] {
                     target = Some((addr, side));
                     break;
@@ -724,19 +945,30 @@ impl MemoryController {
         if let Some(BankOp::Write(job)) = &self.banks[bank].op {
             if matches!(job.steps.front(), Some(Step::ArrayWrite)) {
                 let addr = job.entry.access.addr;
-                let diff = job.diff.expect("diff computed at phase start");
+                let Some(diff) = job.diff else {
+                    // The diff is computed when the phase is scheduled;
+                    // its absence is a bookkeeping bug. Deny the cancel
+                    // (the write runs to completion) and surface it.
+                    self.note_anomaly("array-write phase in flight without its diff");
+                    return;
+                };
                 if !self.absorb_cancel_collateral(addr, &diff) {
                     return; // denied: corruption could not be buffered
                 }
             }
         }
-        let Some(BankOp::Write(job)) = self.banks[bank].op.take() else {
-            unreachable!("checked above");
-        };
-        self.stats.write_cancellations.inc();
-        self.banks[bank].write_q.push_front(job.entry);
-        self.banks[bank].busy_until = now;
-        self.dispatch(bank, now);
+        match self.banks[bank].op.take() {
+            Some(BankOp::Write(job)) => {
+                self.stats.write_cancellations.inc();
+                self.banks[bank].write_q.push_front(job.entry);
+                self.banks[bank].busy_until = now;
+                self.dispatch(bank, now);
+            }
+            other => {
+                self.banks[bank].op = other;
+                self.note_anomaly("cancellation target changed type mid-check");
+            }
+        }
     }
 
     /// Rolls the disturbance of a half-finished (cancelled) array write
@@ -784,7 +1016,10 @@ impl MemoryController {
     // ----- execution -----
 
     fn complete_op(&mut self, bank: usize, at: Cycle) {
-        let op = self.banks[bank].op.take().expect("bank had an op");
+        let Some(op) = self.banks[bank].op.take() else {
+            self.note_anomaly("completion fired on an idle bank");
+            return;
+        };
         match op {
             BankOp::Read(access) => {
                 self.stats.reads.inc();
@@ -845,14 +1080,19 @@ impl MemoryController {
     /// pure pre-computation (DIN encode + diff) for array writes.
     fn step_duration(&mut self, job: &mut WriteJob) -> Cycle {
         let t = self.cfg.timing;
-        match job.steps.front().expect("job has a step") {
+        let Some(step) = job.steps.front() else {
+            self.note_anomaly("write job scheduled with no remaining step");
+            return Cycle(1);
+        };
+        match step {
             Step::PreRead(_) | Step::OwnVerify | Step::PostRead(_) | Step::CascadeVerify(_) => {
                 t.read
             }
             Step::ArrayWrite => {
                 let addr = job.entry.access.addr;
                 let AccessKind::Write(plain) = job.entry.access.kind else {
-                    unreachable!("write job carries a write");
+                    self.note_anomaly("array-write step on a non-write access");
+                    return t.read;
                 };
                 self.plant_hard(addr);
                 let raw_old = self.store.raw_line(addr);
@@ -879,7 +1119,10 @@ impl MemoryController {
     /// Applies the side effects of the completed front step and extends
     /// the program as VnC demands.
     fn finish_step(&mut self, job: &mut WriteJob, at: Cycle) {
-        let step = job.steps.pop_front().expect("job has a step");
+        let Some(step) = job.steps.pop_front() else {
+            self.note_anomaly("write job completed with no step to finish");
+            return;
+        };
         let t = self.cfg.timing;
         let addr = job.entry.access.addr;
         match step {
@@ -892,8 +1135,11 @@ impl MemoryController {
                 job.entry.pr_buf[side.idx()] = data;
             }
             Step::ArrayWrite => {
-                let diff = job.diff.take().expect("diff computed at start");
-                let encoded = job.encoded.take().expect("encoded at start");
+                let (Some(diff), Some(encoded)) = (job.diff.take(), job.encoded.take()) else {
+                    self.note_anomaly("array write lost its precomputed encoding");
+                    job.steps.clear();
+                    return;
+                };
                 let dur = t.write_latency(&diff);
                 self.stats.phases.array_writes += dur;
                 self.energy
@@ -926,6 +1172,7 @@ impl MemoryController {
                     }
                     job.injected[side.idx()].extend(bl[side.idx()].iter().copied());
                 }
+                self.note_committed_write(addr, at);
             }
             Step::OwnVerify => {
                 self.stats.phases.own_verifies += t.read;
@@ -959,7 +1206,7 @@ impl MemoryController {
                     return;
                 };
                 let new_errors = std::mem::take(&mut job.injected[side.idx()]);
-                self.resolve_verification(job, neighbor, new_errors);
+                self.resolve_verification(job, neighbor, new_errors, at);
             }
             Step::CascadeVerify(line) => {
                 self.stats.phases.cascade_reads += t.read;
@@ -967,7 +1214,7 @@ impl MemoryController {
                 self.stats.cascade_rounds.inc();
                 self.energy.charge_read(512, true);
                 let new_errors = job.take_cascade(line);
-                self.resolve_verification(job, line, new_errors);
+                self.resolve_verification(job, line, new_errors, at);
             }
             Step::EcpWrite { line, cells } => {
                 self.stats.phases.ecp_writes += t.reset_pulse;
@@ -1046,6 +1293,11 @@ impl MemoryController {
         let mut bl = [Vec::new(), Vec::new()];
         for side in Side::BOTH {
             if let Some(n) = neighbors[side.idx()] {
+                if self.salvaged.contains_key(&n) {
+                    // Decommissioned lines are no longer programmed in the
+                    // array, so they can neither disturb nor be disturbed.
+                    continue;
+                }
                 let raw = self.store.raw_line(n);
                 // Only cells that physically flipped count: stuck cells
                 // cannot crystallize, and the hardware's pre/post-read
@@ -1063,8 +1315,26 @@ impl MemoryController {
     }
 
     /// LazyCorrection-or-correct decision after a verification read found
-    /// `new_errors` in `line` (§4.2).
-    fn resolve_verification(&mut self, job: &mut WriteJob, line: LineAddr, new_errors: Vec<u16>) {
+    /// `new_errors` in `line` (§4.2), extended with the graceful
+    /// degradation ladder for ECP exhaustion:
+    ///
+    /// 1. **Bounded retry** — the first `ecp_retry_cap` exhaustions on a
+    ///    line fall back to an immediate verify-and-correct pass but keep
+    ///    LazyCorrection armed (the next errors may again fit the table).
+    /// 2. **Escalation** — past the cap the line stops attempting ECP
+    ///    buffering entirely; every new error is corrected on the spot.
+    /// 3. **Decommission** — a line that keeps accumulating distress even
+    ///    under immediate correction is remapped into the salvage pool.
+    fn resolve_verification(
+        &mut self,
+        job: &mut WriteJob,
+        line: LineAddr,
+        new_errors: Vec<u16>,
+        at: Cycle,
+    ) {
+        if self.salvaged.contains_key(&line) {
+            return;
+        }
         self.plant_hard_excluding(line, &new_errors);
         self.stats
             .errors_per_verification
@@ -1073,16 +1343,42 @@ impl MemoryController {
             return;
         }
         let ecp = self.store.ecp(line);
-        if self.cfg.scheme.lazy_correction && new_errors.len() <= ecp.free_slots() {
-            let cells: Vec<(u16, bool)> = new_errors.iter().map(|&b| (b, false)).collect();
-            if self.cfg.scheme.ecp_write_inline {
-                job.steps.push_front(Step::EcpWrite { line, cells });
+        if self.cfg.scheme.lazy_correction {
+            if self.escalated.contains(&line) {
+                // Rung 2: buffering is abandoned for this line; count
+                // distress toward the decommission threshold.
+                let d = self.distress.entry(line).or_insert(0);
+                *d += 1;
+                let d = *d;
+                if d >= self.cfg.decommission_after
+                    && self.try_decommission(line, job, &new_errors, at)
+                {
+                    return;
+                }
+                self.stats.immediate_corrections.inc();
+            } else if new_errors.len() <= ecp.free_slots() {
+                let cells: Vec<(u16, bool)> = new_errors.iter().map(|&b| (b, false)).collect();
+                if self.cfg.scheme.ecp_write_inline {
+                    job.steps.push_front(Step::EcpWrite { line, cells });
+                } else {
+                    // The record targets the separate ECP chip and overlaps
+                    // with the bank's next data operation.
+                    self.record_ecp(line, &cells);
+                }
+                return;
             } else {
-                // The record targets the separate ECP chip and overlaps
-                // with the bank's next data operation.
-                self.record_ecp(line, &cells);
+                // The table cannot absorb this batch.
+                self.stats.ecp_exhaustions.inc();
+                let d = self.distress.entry(line).or_insert(0);
+                *d += 1;
+                if *d <= self.cfg.ecp_retry_cap {
+                    // Rung 1: correct now, retry buffering next time.
+                    self.stats.correction_retries.inc();
+                } else {
+                    self.escalated.insert(line);
+                    self.stats.immediate_corrections.inc();
+                }
             }
-            return;
         }
         // Correct everything: the new errors plus any buffered ones.
         let mut cells: Vec<u16> = ecp.disturbed_cells().iter().map(|&(b, _)| b).collect();
@@ -1092,17 +1388,100 @@ impl MemoryController {
         job.steps.push_front(Step::Correction { line, cells });
     }
 
+    /// Attempts to retire `line` from the array into the salvage pool.
+    /// Refuses when the pool is full or when the in-flight job (or its
+    /// paused sibling) still targets the line. Returns `true` when the
+    /// line was decommissioned.
+    fn try_decommission(
+        &mut self,
+        line: LineAddr,
+        job: &mut WriteJob,
+        new_errors: &[u16],
+        at: Cycle,
+    ) -> bool {
+        if self.salvaged.len() >= self.cfg.salvage_pool_lines {
+            self.stats.salvage_rejections.inc();
+            return false;
+        }
+        if job.entry.access.addr == line {
+            return false;
+        }
+        let bank = line.bank.0 as usize;
+        if let Some(paused) = &self.banks[bank].paused {
+            if paused.entry.access.addr == line {
+                return false;
+            }
+        }
+        // Reconstruct the architectural content: raw array bits, minus the
+        // just-found disturbances (WD only flips 0 -> 1, so their correct
+        // value is 0), DIN-decoded when encoding is in force.
+        let mut patched = self.store.read_line(line);
+        for &bit in new_errors {
+            patched.set_bit(bit as usize, false);
+        }
+        let data = match &self.codec {
+            Some(codec) => {
+                let flags = self.flags.get(&line).copied().unwrap_or_default();
+                codec.decode(&patched, flags)
+            }
+            None => patched,
+        };
+        self.salvaged.insert(line, data);
+        self.distress.remove(&line);
+        self.escalated.remove(&line);
+        self.stats.decommissions.inc();
+        // The job owes the line no further maintenance.
+        job.steps.retain(|s| {
+            !matches!(s,
+                Step::Correction { line: l, .. }
+                | Step::EcpWrite { line: l, .. }
+                | Step::CascadeVerify(l) if *l == line)
+        });
+        job.cascade_pending.retain(|(l, _)| *l != line);
+        // Absorb any queued write to the line (coalescing keeps at most
+        // one) so its requester still sees a completion.
+        let removed = {
+            let b = &mut self.banks[bank];
+            b.write_q
+                .iter()
+                .position(|e| e.access.addr == line)
+                .and_then(|pos| b.write_q.remove(pos))
+        };
+        if let Some(e) = removed {
+            if let AccessKind::Write(d) = e.access.kind {
+                self.salvaged.insert(line, d);
+            }
+            self.completions.push(Completion {
+                id: e.access.id,
+                at: at + self.cfg.forward_latency,
+                was_write: true,
+                data: None,
+            });
+        }
+        true
+    }
+
     /// Records buffered-WD cells into a line's ECP table, charging the
-    /// ECP chip's wear (10 bits per record).
+    /// ECP chip's wear (10 bits per record). A record that overflows
+    /// despite the earlier capacity check (a racing hard error can steal
+    /// the slot) degrades to a direct RESET fix of the cell.
     fn record_ecp(&mut self, line: LineAddr, cells: &[(u16, bool)]) {
         for &(bit, value) in cells {
-            let ok = self
+            match self
                 .store
                 .ecp_mut(line)
-                .try_record(bit, value, EcpKind::Disturb);
-            debug_assert!(ok, "ECP space was checked before recording");
-            self.store.wear_mut().charge_ecp_record();
-            self.stats.ecp_records.inc();
+                .record(bit, value, EcpKind::Disturb)
+            {
+                Ok(()) => {
+                    self.store.wear_mut().charge_ecp_record();
+                    self.stats.ecp_records.inc();
+                }
+                Err(_) => {
+                    self.stats.ecp_overflow_fixes.inc();
+                    let fix = DiffMask::reset_only(&[bit as usize]);
+                    self.store.apply_write(line, &fix, WriteClass::Correction);
+                }
+            }
         }
     }
 
@@ -1173,6 +1552,90 @@ impl MemoryController {
             }
         }
     }
+
+    // ----- chaos harness -----
+
+    /// Bookkeeping after every committed demand write: remembers the
+    /// address as a chaos victim candidate and advances the fault plan.
+    /// Scheduling is keyed on the committed-write count — not the wall
+    /// cycle — so a plan replays bit-exactly regardless of timing config.
+    fn note_committed_write(&mut self, addr: LineAddr, at: Cycle) {
+        self.recent_writes.push_back(addr);
+        while self.recent_writes.len() > RECENT_WRITES_CAP {
+            self.recent_writes.pop_front();
+        }
+        if self.chaos.is_some() {
+            self.apply_chaos(at);
+        }
+    }
+
+    /// Drains every fault action due at the current write count.
+    fn apply_chaos(&mut self, at: Cycle) {
+        let committed = self.stats.writes.get();
+        let actions = match &mut self.chaos {
+            Some(engine) => engine.poll(committed),
+            None => return,
+        };
+        for action in actions {
+            self.execute_chaos(action, committed, at);
+        }
+    }
+
+    /// Applies one fault action to the device/injector and logs it.
+    fn execute_chaos(&mut self, action: ChaosAction, committed: u64, at: Cycle) {
+        match action {
+            ChaosAction::BeginStorm { mult } => {
+                if self.injector.set_storm(mult).is_err() {
+                    // ChaosPlan::new validated the multiplier; reaching
+                    // here means the plan was corrupted in flight.
+                    self.note_anomaly("chaos storm multiplier went invalid");
+                    return;
+                }
+            }
+            ChaosAction::EndStorm => self.injector.clear_storm(),
+            ChaosAction::PlantStuckBurst {
+                lines,
+                cells_per_line,
+            } => {
+                for _ in 0..lines {
+                    let victim = if self.recent_writes.is_empty() {
+                        LineAddr {
+                            bank: sdpcm_pcm::geometry::BankId(
+                                self.rng.below(self.banks.len() as u64) as u16,
+                            ),
+                            row: sdpcm_pcm::geometry::RowId(
+                                self.rng.below(u64::from(self.geometry.rows_per_bank())) as u32,
+                            ),
+                            slot: self.rng.below(sdpcm_pcm::geometry::LINES_PER_ROW as u64) as u8,
+                        }
+                    } else {
+                        let i = self.rng.index(self.recent_writes.len());
+                        self.recent_writes[i]
+                    };
+                    if self.salvaged.contains_key(&victim) {
+                        continue;
+                    }
+                    for _ in 0..cells_per_line {
+                        let bit = self.rng.below(512) as u16;
+                        let stuck = self.rng.chance(0.5);
+                        self.store.plant_hard_error(victim, bit, stuck);
+                    }
+                }
+            }
+            ChaosAction::SetAge { lifetime_fraction } => {
+                let model = self
+                    .hard_plan
+                    .map_or_else(HardErrorModel::default, |(m, _)| m);
+                self.hard_plan = Some((model, lifetime_fraction));
+            }
+        }
+        self.stats.fault_events.inc();
+        self.fault_log.push(FaultEvent {
+            at_write: committed,
+            at_cycle: at.0,
+            action,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -1237,11 +1700,11 @@ mod tests {
         loop {
             c.drain_all(c.next_event().unwrap_or(Cycle::ZERO));
             let Some(t) = c.next_event() else { break };
-            out.extend(c.advance(t));
+            out.extend(c.advance(t).unwrap());
             guard += 1;
             assert!(guard < 1_000_000, "controller livelock");
         }
-        out.extend(c.advance(Cycle::MAX));
+        out.extend(c.advance(Cycle::MAX).unwrap());
         out
     }
 
@@ -1250,8 +1713,8 @@ mod tests {
         let mut c = ctrl(CtrlScheme::din());
         let a = line(0, 10, 0);
         let expect = c.architectural_line(a);
-        c.submit(read(1, a, Cycle(0)), Cycle(0));
-        let done = c.advance(Cycle(400));
+        c.submit(read(1, a, Cycle(0)), Cycle(0)).unwrap();
+        let done = c.advance(Cycle(400)).unwrap();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].at, Cycle(400));
         assert_eq!(done[0].data, Some(expect));
@@ -1268,11 +1731,12 @@ mod tests {
             let mut c = ctrl(scheme);
             let a = line(2, 20, 5);
             let data = patterned(9);
-            c.submit(write(1, a, data, Cycle(0)), Cycle(0));
+            c.submit(write(1, a, data, Cycle(0)), Cycle(0)).unwrap();
             let _ = run_until_idle(&mut c);
             assert_eq!(c.architectural_line(a), data, "scheme {scheme:?}");
             // A demand read returns the same.
-            c.submit(read(2, a, Cycle(1_000_000)), Cycle(1_000_000));
+            c.submit(read(2, a, Cycle(1_000_000)), Cycle(1_000_000))
+                .unwrap();
             let done = run_until_idle(&mut c);
             assert_eq!(done.last().unwrap().data, Some(data));
         }
@@ -1283,9 +1747,9 @@ mod tests {
         let mut c = ctrl(CtrlScheme::baseline_vnc());
         let a = line(1, 30, 0);
         let data = patterned(3);
-        c.submit(write(1, a, data, Cycle(0)), Cycle(0));
+        c.submit(write(1, a, data, Cycle(0)), Cycle(0)).unwrap();
         // While the write is queued/in flight, a read arrives.
-        c.submit(read(2, a, Cycle(10)), Cycle(10));
+        c.submit(read(2, a, Cycle(10)), Cycle(10)).unwrap();
         let done = run_until_idle(&mut c);
         let r = done.iter().find(|d| d.id == ReqId(2)).unwrap();
         assert_eq!(r.data, Some(data));
@@ -1296,14 +1760,16 @@ mod tests {
     fn vnc_write_occupies_longer_than_din_write() {
         let data = patterned(4);
         let mut din = ctrl(CtrlScheme::din());
-        din.submit(write(1, line(0, 50, 0), data, Cycle(0)), Cycle(0));
+        din.submit(write(1, line(0, 50, 0), data, Cycle(0)), Cycle(0))
+            .unwrap();
         let _ = run_until_idle(&mut din);
         let din_busy = din.stats().phases.pre_reads
             + din.stats().phases.post_reads
             + din.stats().phases.array_writes;
 
         let mut base = ctrl(CtrlScheme::baseline_vnc());
-        base.submit(write(1, line(0, 50, 0), data, Cycle(0)), Cycle(0));
+        base.submit(write(1, line(0, 50, 0), data, Cycle(0)), Cycle(0))
+            .unwrap();
         let _ = run_until_idle(&mut base);
         let base_busy = base.stats().phases.pre_reads
             + base.stats().phases.post_reads
@@ -1327,13 +1793,16 @@ mod tests {
         let victim_down = line(3, 42, 7);
         let up_data = patterned(10);
         let down_data = patterned(11);
-        c.submit(write(1, victim_up, up_data, Cycle(0)), Cycle(0));
-        c.submit(write(2, victim_down, down_data, Cycle(0)), Cycle(0));
+        c.submit(write(1, victim_up, up_data, Cycle(0)), Cycle(0))
+            .unwrap();
+        c.submit(write(2, victim_down, down_data, Cycle(0)), Cycle(0))
+            .unwrap();
         let _ = run_until_idle(&mut c);
         // Hammer the middle line with alternating data.
         for i in 0..50u64 {
             let t = Cycle(1_000_000 + i);
-            c.submit(write(100 + i, target, patterned(100 + i), t), t);
+            c.submit(write(100 + i, target, patterned(100 + i), t), t)
+                .unwrap();
             let _ = run_until_idle(&mut c);
         }
         assert_eq!(c.architectural_line(victim_up), up_data);
@@ -1347,11 +1816,13 @@ mod tests {
         let victim = line(3, 40, 7);
         let target = line(3, 41, 7);
         let victim_data = patterned(10);
-        c.submit(write(1, victim, victim_data, Cycle(0)), Cycle(0));
+        c.submit(write(1, victim, victim_data, Cycle(0)), Cycle(0))
+            .unwrap();
         let _ = run_until_idle(&mut c);
         for i in 0..50u64 {
             let t = Cycle(1_000_000 + i);
-            c.submit(write(100 + i, target, patterned(100 + i), t), t);
+            c.submit(write(100 + i, target, patterned(100 + i), t), t)
+                .unwrap();
             let _ = run_until_idle(&mut c);
         }
         assert_ne!(
@@ -1367,12 +1838,15 @@ mod tests {
         let mut lazy = ctrl(CtrlScheme::lazyc());
         for c in [&mut base, &mut lazy] {
             let target = line(3, 41, 7);
-            c.submit(write(1, line(3, 40, 7), patterned(1), Cycle(0)), Cycle(0));
-            c.submit(write(2, line(3, 42, 7), patterned(2), Cycle(0)), Cycle(0));
+            c.submit(write(1, line(3, 40, 7), patterned(1), Cycle(0)), Cycle(0))
+                .unwrap();
+            c.submit(write(2, line(3, 42, 7), patterned(2), Cycle(0)), Cycle(0))
+                .unwrap();
             let _ = run_until_idle(c);
             for i in 0..30u64 {
                 let t = Cycle(1_000_000 + i);
-                c.submit(write(100 + i, target, patterned(100 + i), t), t);
+                c.submit(write(100 + i, target, patterned(100 + i), t), t)
+                    .unwrap();
                 let _ = run_until_idle(c);
             }
         }
@@ -1393,7 +1867,7 @@ mod tests {
             // Interior even strip: both neighbours marked no-use.
             ..write(1, line(0, 50, 0), patterned(5), Cycle(0))
         };
-        c.submit(a, Cycle(0));
+        c.submit(a, Cycle(0)).unwrap();
         let _ = run_until_idle(&mut c);
         assert_eq!(c.stats().verification_ops.get(), 0);
         assert_eq!(c.stats().phases.pre_reads, Cycle::ZERO);
@@ -1403,10 +1877,11 @@ mod tests {
     fn preread_issues_during_idle_time() {
         let mut c = ctrl(CtrlScheme::lazyc_preread());
         let a = line(4, 60, 1);
-        c.submit(write(1, a, patterned(6), Cycle(0)), Cycle(0));
+        c.submit(write(1, a, patterned(6), Cycle(0)), Cycle(0))
+            .unwrap();
         // Let the bank idle: the queued write's pre-reads are issued.
         for t in [400u64, 800, 1200, 1600] {
-            let _ = c.advance(Cycle(t));
+            let _ = c.advance(Cycle(t)).unwrap();
         }
         assert!(c.stats().prereads_issued.get() >= 2);
         // When the drain later fires, inline pre-reads are skipped.
@@ -1420,10 +1895,11 @@ mod tests {
         let mut c = ctrl(CtrlScheme::baseline_vnc().with_write_cancellation());
         let w = line(5, 70, 0);
         let r = line(5, 90, 0);
-        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0));
+        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0))
+            .unwrap();
         c.drain_all(Cycle(0)); // start the write job now
                                // Mid-job read to a different line of the same bank.
-        c.submit(read(2, r, Cycle(100)), Cycle(100));
+        c.submit(read(2, r, Cycle(100)), Cycle(100)).unwrap();
         let done = run_until_idle(&mut c);
         assert!(c.stats().write_cancellations.get() >= 1);
         let read_done = done.iter().find(|d| d.id == ReqId(2)).unwrap();
@@ -1437,9 +1913,10 @@ mod tests {
         let mut c = ctrl(CtrlScheme::baseline_vnc());
         let w = line(5, 70, 0);
         let r = line(5, 90, 0);
-        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0));
+        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0))
+            .unwrap();
         c.drain_all(Cycle(0));
-        c.submit(read(2, r, Cycle(100)), Cycle(100));
+        c.submit(read(2, r, Cycle(100)), Cycle(100)).unwrap();
         let done = run_until_idle(&mut c);
         let read_done = done.iter().find(|d| d.id == ReqId(2)).unwrap();
         // Job = 2 pre-reads + write + own-verify + 2 post-reads ≥ 2800.
@@ -1453,7 +1930,8 @@ mod tests {
         for i in 0..32u64 {
             // Distinct lines of one bank.
             let a = line(6, i as u32, 0);
-            c.submit(write(i, a, patterned(i), Cycle(0)), Cycle(0));
+            c.submit(write(i, a, patterned(i), Cycle(0)), Cycle(0))
+                .unwrap();
         }
         assert!(c.stats().drains.get() >= 1);
         let done = run_until_idle(&mut c);
@@ -1470,15 +1948,21 @@ mod tests {
             c.submit(
                 write(i, line(6, i as u32, 0), patterned(i), Cycle(0)),
                 Cycle(0),
-            );
+            )
+            .unwrap();
         }
         assert!(c.stats().drains.get() >= 1, "queue filled");
-        c.submit(read(99, line(6, 60, 0), Cycle(10)), Cycle(10));
+        c.submit(read(99, line(6, 60, 0), Cycle(10)), Cycle(10))
+            .unwrap();
         // Advance naturally (no forced flush) until the read completes.
         let mut rd = None;
         while rd.is_none() {
             let t = c.next_event().expect("work pending");
-            rd = c.advance(t).into_iter().find(|d| d.id == ReqId(99));
+            rd = c
+                .advance(t)
+                .unwrap()
+                .into_iter()
+                .find(|d| d.id == ReqId(99));
         }
         let rd = rd.expect("loop exits with the completion");
         // One DIN write job on near-random data is ~2400-2800 cycles
@@ -1504,13 +1988,15 @@ mod tests {
             c.submit(
                 write(i, line(7, i as u32, 0), patterned(i), Cycle(0)),
                 Cycle(0),
-            );
+            )
+            .unwrap();
         }
         // Let one burst finish, then add more writes.
-        let _ = c.advance(Cycle(20_000));
+        let _ = c.advance(Cycle(20_000)).unwrap();
         for i in 32..40u64 {
             let t = Cycle(20_000 + i);
-            c.submit(write(i, line(7, i as u32, 0), patterned(i), t), t);
+            c.submit(write(i, line(7, i as u32, 0), patterned(i), t), t)
+                .unwrap();
         }
         let _ = run_until_idle(&mut c);
         assert_eq!(c.stats().writes.get(), 40);
@@ -1520,8 +2006,10 @@ mod tests {
     fn coalescing_merges_queued_writes() {
         let mut c = ctrl(CtrlScheme::din());
         let a = line(7, 5, 5);
-        c.submit(write(1, a, patterned(1), Cycle(0)), Cycle(0));
-        c.submit(write(2, a, patterned(2), Cycle(1)), Cycle(1));
+        c.submit(write(1, a, patterned(1), Cycle(0)), Cycle(0))
+            .unwrap();
+        c.submit(write(2, a, patterned(2), Cycle(1)), Cycle(1))
+            .unwrap();
         let _ = run_until_idle(&mut c);
         assert_eq!(c.stats().writes.get(), 1, "coalesced into one array write");
         assert_eq!(c.architectural_line(a), patterned(2), "newest data wins");
@@ -1535,11 +2023,11 @@ mod tests {
                 let a = line((i % 4) as u16, 40 + (i % 8) as u32, (i % 64) as u8);
                 let t = Cycle(i * 50);
                 if i % 3 == 0 {
-                    c.submit(read(i, a, t), t);
+                    c.submit(read(i, a, t), t).unwrap();
                 } else {
-                    c.submit(write(i, a, patterned(i), t), t);
+                    c.submit(write(i, a, patterned(i), t), t).unwrap();
                 }
-                let _ = c.advance(t);
+                let _ = c.advance(t).unwrap();
             }
             let done = run_until_idle(&mut c);
             (
@@ -1556,9 +2044,10 @@ mod tests {
         let mut c = ctrl(CtrlScheme::baseline_vnc().with_write_pausing());
         let w = line(5, 70, 0);
         let r = line(5, 90, 0); // unrelated line, same bank
-        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0));
+        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0))
+            .unwrap();
         c.drain_all(Cycle(0));
-        c.submit(read(2, r, Cycle(100)), Cycle(100));
+        c.submit(read(2, r, Cycle(100)), Cycle(100)).unwrap();
         let done = run_until_idle(&mut c);
         assert!(c.stats().write_pauses.get() >= 1, "job paused for the read");
         let read_done = done.iter().find(|d| d.id == ReqId(2)).unwrap();
@@ -1579,14 +2068,17 @@ mod tests {
         let victim = line(3, 40, 7);
         let target = line(3, 41, 7);
         let victim_data = patterned(10);
-        c.submit(write(1, victim, victim_data, Cycle(0)), Cycle(0));
+        c.submit(write(1, victim, victim_data, Cycle(0)), Cycle(0))
+            .unwrap();
         let _ = run_until_idle(&mut c);
         for i in 0..20u64 {
             let t = Cycle(1_000_000 + i * 10_000);
-            c.submit(write(100 + i, target, patterned(100 + i), t), t);
+            c.submit(write(100 + i, target, patterned(100 + i), t), t)
+                .unwrap();
             c.drain_all(t);
             // Read the victim while the write job is mid-flight.
-            c.submit(read(1000 + i, victim, t + Cycle(900)), t + Cycle(900));
+            c.submit(read(1000 + i, victim, t + Cycle(900)), t + Cycle(900))
+                .unwrap();
             let done = run_until_idle(&mut c);
             let rd = done.iter().find(|d| d.id == ReqId(1000 + i)).unwrap();
             assert_eq!(
@@ -1606,7 +2098,8 @@ mod tests {
                 c.submit(
                     write(i, line(1, 30 + (i % 5) as u32, 0), patterned(i), t),
                     t,
-                );
+                )
+                .unwrap();
                 let _ = run_until_idle(&mut c);
             }
             c.energy().overhead_fraction()
@@ -1630,7 +2123,7 @@ mod tests {
             let a = line(2, (i % 10) as u32, (i % 3) as u8);
             let data = patterned(1000 + i);
             let t = Cycle(i * 100_000);
-            c.submit(write(i, a, data, t), t);
+            c.submit(write(i, a, data, t), t).unwrap();
             let _ = run_until_idle(&mut c);
             expected.retain(|(prev, _): &(LineAddr, LineBuf)| *prev != a);
             expected.push((a, data));
@@ -1642,7 +2135,8 @@ mod tests {
             c.submit(
                 read(10_000 + u64::from(a.row.0), a, Cycle(1 << 40)),
                 Cycle(1 << 40),
-            );
+            )
+            .unwrap();
             let done = run_until_idle(&mut c);
             assert_eq!(done.last().unwrap().data, Some(data));
         }
@@ -1656,7 +2150,7 @@ mod tests {
         // from its logical one.
         for i in 0..200u64 {
             let t = Cycle(i * 100_000);
-            c.submit(write(i, a, patterned(i), t), t);
+            c.submit(write(i, a, patterned(i), t), t).unwrap();
             let _ = run_until_idle(&mut c);
         }
         // The logical view tracks the data regardless.
@@ -1665,14 +2159,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "(1:1) allocator")]
     fn start_gap_rejects_nm_ratios() {
         let mut c = ctrl(CtrlScheme::baseline_vnc().with_start_gap(8));
         let a = Access {
             ratio: NmRatio::one_two(),
             ..write(1, line(0, 2, 0), patterned(1), Cycle(0))
         };
-        c.submit(a, Cycle(0));
+        assert!(matches!(
+            c.submit(a, Cycle(0)),
+            Err(CtrlError::StartGapRatio { .. })
+        ));
     }
 
     #[test]
@@ -1682,13 +2178,14 @@ mod tests {
         let mut c = ctrl(CtrlScheme::baseline_vnc().with_write_pausing());
         let w = line(5, 70, 0);
         let other = line(5, 90, 0);
-        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0));
+        c.submit(write(1, w, patterned(7), Cycle(0)), Cycle(0))
+            .unwrap();
         c.drain_all(Cycle(0));
         // A read to another line triggers a pause at the next phase edge.
-        c.submit(read(2, other, Cycle(100)), Cycle(100));
-        let _ = c.advance(Cycle(450)); // first phase done, job paused
-        // Now read the paused write's own line: must forward new data.
-        c.submit(read(3, w, Cycle(460)), Cycle(460));
+        c.submit(read(2, other, Cycle(100)), Cycle(100)).unwrap();
+        let _ = c.advance(Cycle(450)).unwrap(); // first phase done, job paused
+                                                // Now read the paused write's own line: must forward new data.
+        c.submit(read(3, w, Cycle(460)), Cycle(460)).unwrap();
         let done = run_until_idle(&mut c);
         let fwd = done.iter().find(|d| d.id == ReqId(3)).unwrap();
         assert_eq!(fwd.data, Some(patterned(7)));
@@ -1701,9 +2198,11 @@ mod tests {
         // second one's data.
         let mut c = ctrl(CtrlScheme::baseline_vnc());
         let a = line(4, 33, 2);
-        c.submit(write(1, a, patterned(1), Cycle(0)), Cycle(0));
-        c.submit(write(2, a, patterned(2), Cycle(5)), Cycle(5));
-        c.submit(read(3, a, Cycle(10)), Cycle(10));
+        c.submit(write(1, a, patterned(1), Cycle(0)), Cycle(0))
+            .unwrap();
+        c.submit(write(2, a, patterned(2), Cycle(5)), Cycle(5))
+            .unwrap();
+        c.submit(read(3, a, Cycle(10)), Cycle(10)).unwrap();
         let done = run_until_idle(&mut c);
         let fwd = done.iter().find(|d| d.id == ReqId(3)).unwrap();
         assert_eq!(fwd.data, Some(patterned(2)));
@@ -1715,7 +2214,8 @@ mod tests {
         let a = line(3, 21, 1);
         let before = c.latest_architectural(a);
         assert_eq!(before, c.architectural_line(a));
-        c.submit(write(1, a, patterned(9), Cycle(0)), Cycle(0));
+        c.submit(write(1, a, patterned(9), Cycle(0)), Cycle(0))
+            .unwrap();
         // Still queued: latest view is the pending data, array unchanged.
         assert_eq!(c.latest_architectural(a), patterned(9));
         assert_eq!(c.architectural_line(a), before);
@@ -1729,7 +2229,7 @@ mod tests {
         c.set_dimm_age(HardErrorModel::default(), 1.0);
         let a = line(0, 80, 0);
         let data = patterned(42);
-        c.submit(write(1, a, data, Cycle(0)), Cycle(0));
+        c.submit(write(1, a, data, Cycle(0)), Cycle(0)).unwrap();
         let _ = run_until_idle(&mut c);
         assert_eq!(c.architectural_line(a), data, "ECP patches stuck cells");
     }

@@ -25,12 +25,21 @@
 //!   still disturb neighbours, modelling the paper's warning that
 //!   repeated writes amplify WD.
 //!
+//! Robustness: the steady-state API ([`MemoryController::submit`] /
+//! [`MemoryController::advance`]) returns typed [`CtrlError`]s instead of
+//! panicking, ECP exhaustion under LazyCorrection degrades through a
+//! retry → escalate → decommission ladder, and a chaos scenario
+//! ([`sdpcm_wd::chaos`]) can be installed to stress all of it
+//! deterministically.
+//!
 //! Organization: [`req`] (requests/completions), [`scheme`] (mechanism
 //! switches), [`stats`] (counters behind Figures 4, 5, 11–19),
-//! [`writejob`] (the multi-phase write state machine), and [`ctrl`] (the
-//! controller: queues, banks, scheduling).
+//! [`writejob`] (the multi-phase write state machine), [`error`] (typed
+//! errors + diagnostic snapshots), and [`ctrl`] (the controller: queues,
+//! banks, scheduling).
 
 pub mod ctrl;
+pub mod error;
 pub mod req;
 pub mod scheme;
 pub mod stats;
@@ -38,6 +47,7 @@ pub mod wearlevel;
 pub mod writejob;
 
 pub use ctrl::{CtrlConfig, MemoryController};
+pub use error::{BankSnapshot, CtrlError, CtrlSnapshot};
 pub use req::{Access, AccessKind, Completion, ReqId};
 pub use scheme::CtrlScheme;
 pub use stats::CtrlStats;

@@ -43,7 +43,10 @@ impl PhaseCycles {
 }
 
 /// All counters kept by the controller.
-#[derive(Debug, Clone)]
+///
+/// Compares with `==`: the reproducibility harness checks that two
+/// same-seed runs produce identical statistics.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CtrlStats {
     /// Demand reads completed.
     pub reads: Counter,
@@ -81,6 +84,32 @@ pub struct CtrlStats {
     pub preread_forwards: Counter,
     /// Bursty write-queue drains triggered.
     pub drains: Counter,
+    /// Verification reads that found the line's ECP table unable to
+    /// absorb the new errors (LazyCorrection exhaustion events).
+    pub ecp_exhaustions: Counter,
+    /// Exhaustion events answered by the bounded verify-and-correct
+    /// retry path (first rung of the degradation ladder).
+    pub correction_retries: Counter,
+    /// Corrections issued for lines escalated past the retry cap —
+    /// buffering is no longer attempted for them (second rung).
+    pub immediate_corrections: Counter,
+    /// Lines decommissioned from the array into the salvage pool
+    /// (final rung).
+    pub decommissions: Counter,
+    /// Reads served from the salvage pool.
+    pub salvaged_reads: Counter,
+    /// Writes absorbed by the salvage pool.
+    pub salvaged_writes: Counter,
+    /// Decommissions denied because the salvage pool was full.
+    pub salvage_rejections: Counter,
+    /// ECP records that unexpectedly overflowed after the capacity
+    /// check and were converted into direct cell fixes (should stay 0).
+    pub ecp_overflow_fixes: Counter,
+    /// Broken internal invariants detected (surfaced as
+    /// [`crate::CtrlError::InternalAnomaly`]; should stay 0).
+    pub internal_anomalies: Counter,
+    /// Chaos-harness fault actions executed.
+    pub fault_events: Counter,
     /// Word-line WD errors injected into written lines (Figure 4a).
     pub wl_errors: Histogram,
     /// Bit-line WD errors injected per adjacent line per write (Fig. 4b).
@@ -112,6 +141,16 @@ impl CtrlStats {
             prereads_issued: Counter::new(),
             preread_forwards: Counter::new(),
             drains: Counter::new(),
+            ecp_exhaustions: Counter::new(),
+            correction_retries: Counter::new(),
+            immediate_corrections: Counter::new(),
+            decommissions: Counter::new(),
+            salvaged_reads: Counter::new(),
+            salvaged_writes: Counter::new(),
+            salvage_rejections: Counter::new(),
+            ecp_overflow_fixes: Counter::new(),
+            internal_anomalies: Counter::new(),
+            fault_events: Counter::new(),
             wl_errors: Histogram::with_cap(32),
             bl_errors_per_neighbor: Histogram::with_cap(32),
             errors_per_verification: Histogram::with_cap(32),

@@ -35,7 +35,7 @@ pub mod nmbuddy;
 pub mod pagetable;
 pub mod policy;
 
-pub use nm::NmRatio;
+pub use nm::{InvalidRatio, NmRatio};
 pub use nmalloc::NmAllocator;
 pub use nmbuddy::NmBuddyAllocator;
 pub use pagetable::{PageTable, Tlb};

@@ -15,6 +15,28 @@
 
 use sdpcm_pcm::geometry::STRIPS_PER_64MB;
 
+/// A rejected (n:m) pair: the constructor requires `0 < n ≤ m ≤ 16`
+/// (the page-table tag is 4 bits, supporting 16 allocators, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRatio {
+    /// The rejected numerator.
+    pub n: u8,
+    /// The rejected denominator.
+    pub m: u8,
+}
+
+impl std::fmt::Display for InvalidRatio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid allocation ratio ({}:{}): require 0 < n <= m <= 16",
+            self.n, self.m
+        )
+    }
+}
+
+impl std::error::Error for InvalidRatio {}
+
 /// An (n:m) allocation ratio.
 ///
 /// # Examples
@@ -45,6 +67,16 @@ impl NmRatio {
     pub fn new(n: u8, m: u8) -> NmRatio {
         assert!(n > 0 && n <= m && m <= 16, "require 0 < n <= m <= 16");
         NmRatio { n, m }
+    }
+
+    /// Fallible [`NmRatio::new`] for ratios taken from configuration
+    /// rather than literals: rejects the pair instead of panicking.
+    pub fn try_new(n: u8, m: u8) -> Result<NmRatio, InvalidRatio> {
+        if n > 0 && n <= m && m <= 16 {
+            Ok(NmRatio { n, m })
+        } else {
+            Err(InvalidRatio { n, m })
+        }
     }
 
     /// The default (1:1) allocator — every strip used, no marking.
@@ -223,6 +255,16 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(NmRatio::two_three().to_string(), "(2:3)");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_pairs() {
+        assert_eq!(NmRatio::try_new(2, 3), Ok(NmRatio::two_three()));
+        assert_eq!(NmRatio::try_new(0, 2), Err(InvalidRatio { n: 0, m: 2 }));
+        assert_eq!(NmRatio::try_new(3, 2), Err(InvalidRatio { n: 3, m: 2 }));
+        assert_eq!(NmRatio::try_new(5, 17), Err(InvalidRatio { n: 5, m: 17 }));
+        let msg = NmRatio::try_new(3, 2).unwrap_err().to_string();
+        assert!(msg.contains("(3:2)"));
     }
 
     #[test]

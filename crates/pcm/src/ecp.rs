@@ -26,6 +26,40 @@ pub const DEFAULT_ECP_ENTRIES: usize = 6;
 /// + 1-bit value (paper §6.7).
 pub const BITS_PER_ECP_RECORD: u64 = 10;
 
+/// Why an ECP recording could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcpError {
+    /// Every entry is occupied and nothing can be displaced: the caller
+    /// must fall back to an immediate correction (or retire the line).
+    Exhausted {
+        /// Table capacity (N in ECP-N).
+        capacity: usize,
+        /// Entries pinned by permanent hard errors.
+        hard: usize,
+    },
+    /// The cell index does not address a cell of the line.
+    BadCell {
+        /// The rejected index.
+        bit: u16,
+    },
+}
+
+impl std::fmt::Display for EcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcpError::Exhausted { capacity, hard } => write!(
+                f,
+                "ECP table exhausted: all {capacity} entries in use ({hard} hard)"
+            ),
+            EcpError::BadCell { bit } => {
+                write!(f, "cell index {bit} outside the line ({LINE_BITS} cells)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcpError {}
+
 /// What an ECP entry protects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EcpKind {
@@ -150,6 +184,23 @@ impl EcpTable {
         false
     }
 
+    /// [`EcpTable::try_record`] with a typed error instead of a boolean
+    /// (and a `Result` for the bad-cell case rather than a panic): the
+    /// memory controller's degradation ladder branches on the reason.
+    pub fn record(&mut self, bit: u16, value: bool, kind: EcpKind) -> Result<(), EcpError> {
+        if (bit as usize) >= LINE_BITS {
+            return Err(EcpError::BadCell { bit });
+        }
+        if self.try_record(bit, value, kind) {
+            Ok(())
+        } else {
+            Err(EcpError::Exhausted {
+                capacity: self.capacity,
+                hard: self.hard_count(),
+            })
+        }
+    }
+
     /// Removes all buffered WD entries (after a correction write or a
     /// normal write to the line) and returns how many were dropped.
     pub fn clear_disturb(&mut self) -> usize {
@@ -264,5 +315,27 @@ mod tests {
     fn bad_cell_index_panics() {
         let mut t = EcpTable::new(1);
         t.try_record(512, false, EcpKind::Disturb);
+    }
+
+    #[test]
+    fn record_reports_typed_errors() {
+        let mut t = EcpTable::new(1);
+        assert_eq!(
+            t.record(512, false, EcpKind::Disturb),
+            Err(EcpError::BadCell { bit: 512 })
+        );
+        assert_eq!(t.record(3, false, EcpKind::Hard), Ok(()));
+        assert_eq!(
+            t.record(4, false, EcpKind::Disturb),
+            Err(EcpError::Exhausted {
+                capacity: 1,
+                hard: 1
+            })
+        );
+        assert!(t
+            .record(4, false, EcpKind::Disturb)
+            .unwrap_err()
+            .to_string()
+            .contains("exhausted"));
     }
 }

@@ -285,6 +285,44 @@ impl DeviceStore {
     pub fn hard_error_count(&self, addr: LineAddr) -> usize {
         self.line(addr).map_or(0, |l| l.stuck.len())
     }
+
+    /// FNV-1a digest of all materialized device state (raw data, ECP
+    /// tables, stuck cells), iterated in address order so the value is
+    /// independent of hash-map iteration order. Two runs of the same
+    /// seeded simulation must end with identical digests — the
+    /// reproducibility tests compare this instead of dumping 8 GB.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        for (bank, lines) in self.banks.iter().enumerate() {
+            let mut keys: Vec<(u32, u8)> = lines.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let line = &lines[&key];
+                mix(bank as u64);
+                mix(u64::from(key.0) << 8 | u64::from(key.1));
+                for &w in line.data.words() {
+                    mix(w);
+                }
+                for e in line.ecp.entries() {
+                    mix(u64::from(e.bit) << 2
+                        | u64::from(e.value) << 1
+                        | u64::from(e.kind == EcpKind::Hard));
+                }
+                for &(bit, val) in &line.stuck {
+                    mix(u64::from(bit) << 1 | u64::from(val));
+                }
+            }
+        }
+        h
+    }
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -395,6 +433,25 @@ mod tests {
         dev.apply_write(a, &DiffMask::reset_only(&[0, 1]), WriteClass::Correction);
         assert_eq!(dev.wear().data_bits_normal(), 10);
         assert_eq!(dev.wear().data_bits_correction(), 2);
+    }
+
+    #[test]
+    fn content_digest_tracks_device_state() {
+        let build = || {
+            let mut dev = store();
+            let mut data = LineBuf::zeroed();
+            data.set_bit(9, true);
+            let a = addr(1, 2, 3);
+            let diff = DiffMask::between(&dev.raw_line(a), &data);
+            dev.apply_write(a, &diff, WriteClass::Normal);
+            dev.plant_hard_error(addr(0, 0, 0), 17, true);
+            dev
+        };
+        let mut dev = build();
+        assert_eq!(dev.content_digest(), build().content_digest());
+        let before = dev.content_digest();
+        dev.inject_disturb(addr(1, 2, 3), 200);
+        assert_ne!(dev.content_digest(), before, "digest sees new state");
     }
 
     #[test]

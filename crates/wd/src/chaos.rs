@@ -1,0 +1,419 @@
+//! Deterministic chaos-injection scheduling.
+//!
+//! A chaos scenario is a list of faults scheduled against the *committed
+//! write count* of the memory controller — not against wall-clock cycles,
+//! whose alignment shifts with queue contention. Keying on the write
+//! stream makes a scenario bit-reproducible: the same seed and plan
+//! disturb exactly the same writes in every run.
+//!
+//! Three fault families cover the failure modes studied in the paper:
+//!
+//! * **stuck-at bursts** — a batch of permanent cell failures landing at
+//!   once (infant-mortality cluster, localized wear-out);
+//! * **storm windows** — a bounded interval during which the calibrated
+//!   WD probabilities are multiplied (thermal emergency, marginal DIMM);
+//! * **aging ramps** — stepping the DIMM's consumed-lifetime fraction,
+//!   which drives the [`sdpcm_pcm::wear::HardErrorModel`] hard-error
+//!   population for lines touched afterwards.
+//!
+//! The module only *schedules*: [`ChaosEngine::poll`] turns the plan into
+//! [`ChaosAction`]s, and the memory controller (which owns the device
+//! store, the [`crate::WdInjector`], and the RNG) executes them and logs
+//! a [`FaultEvent`] per action.
+
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Plant `cells_per_line` stuck-at cells on each of `lines` lines
+    /// drawn near the currently active working set.
+    StuckBurst {
+        /// Number of victim lines.
+        lines: u32,
+        /// Stuck cells planted per victim line.
+        cells_per_line: u16,
+    },
+    /// Multiply both WD probabilities by `mult` for the next
+    /// `duration_writes` committed writes.
+    Storm {
+        /// Probability multiplier (≥ 0, finite; values > 1 elevate WD).
+        mult: f64,
+        /// Window length in committed writes (> 0).
+        duration_writes: u64,
+    },
+    /// Step the DIMM age to `lifetime_fraction` of consumed lifetime.
+    AgingRamp {
+        /// Consumed-lifetime fraction in `[0, 1]`.
+        lifetime_fraction: f64,
+    },
+}
+
+/// One fault with its trigger point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// Fires when the controller has committed this many writes.
+    pub at_write: u64,
+    /// The fault to apply.
+    pub kind: FaultKind,
+}
+
+/// Why a chaos plan was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosError {
+    /// A storm multiplier that is negative or non-finite.
+    InvalidStormMult {
+        /// The rejected multiplier.
+        value: f64,
+    },
+    /// A storm window of zero writes.
+    EmptyStormWindow,
+    /// A stuck burst planting nothing, or more cells than a line holds.
+    InvalidBurst {
+        /// Rejected line count.
+        lines: u32,
+        /// Rejected per-line cell count.
+        cells_per_line: u16,
+    },
+    /// A lifetime fraction outside `[0, 1]`.
+    InvalidAge {
+        /// The rejected fraction.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::InvalidStormMult { value } => {
+                write!(f, "storm multiplier {value} must be finite and >= 0")
+            }
+            ChaosError::EmptyStormWindow => write!(f, "storm window must cover >= 1 write"),
+            ChaosError::InvalidBurst {
+                lines,
+                cells_per_line,
+            } => write!(
+                f,
+                "stuck burst of {lines} lines x {cells_per_line} cells is not plantable"
+            ),
+            ChaosError::InvalidAge { value } => {
+                write!(f, "lifetime fraction {value} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+/// A validated, trigger-ordered chaos scenario.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_wd::chaos::{ChaosPlan, FaultKind, ScheduledFault};
+///
+/// let plan = ChaosPlan::new(vec![ScheduledFault {
+///     at_write: 100,
+///     kind: FaultKind::Storm { mult: 4.0, duration_writes: 50 },
+/// }])
+/// .unwrap();
+/// assert_eq!(plan.faults().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl ChaosPlan {
+    /// Validates and orders a scenario. Faults may be given in any order;
+    /// ties on `at_write` keep their given relative order.
+    pub fn new(mut faults: Vec<ScheduledFault>) -> Result<ChaosPlan, ChaosError> {
+        for f in &faults {
+            match f.kind {
+                FaultKind::Storm {
+                    mult,
+                    duration_writes,
+                } => {
+                    if !mult.is_finite() || mult < 0.0 {
+                        return Err(ChaosError::InvalidStormMult { value: mult });
+                    }
+                    if duration_writes == 0 {
+                        return Err(ChaosError::EmptyStormWindow);
+                    }
+                }
+                FaultKind::StuckBurst {
+                    lines,
+                    cells_per_line,
+                } => {
+                    if lines == 0
+                        || cells_per_line == 0
+                        || (cells_per_line as usize) > sdpcm_pcm::line::LINE_BITS
+                    {
+                        return Err(ChaosError::InvalidBurst {
+                            lines,
+                            cells_per_line,
+                        });
+                    }
+                }
+                FaultKind::AgingRamp { lifetime_fraction } => {
+                    if !(0.0..=1.0).contains(&lifetime_fraction) {
+                        return Err(ChaosError::InvalidAge {
+                            value: lifetime_fraction,
+                        });
+                    }
+                }
+            }
+        }
+        faults.sort_by_key(|f| f.at_write);
+        Ok(ChaosPlan { faults })
+    }
+
+    /// The scenario in trigger order.
+    #[must_use]
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Whether the scenario contains no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// An instruction for the executor (the memory controller).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosAction {
+    /// Apply a storm multiplier to the WD injector.
+    BeginStorm {
+        /// Probability multiplier.
+        mult: f64,
+    },
+    /// Restore the calibrated WD probabilities.
+    EndStorm,
+    /// Plant a batch of stuck-at cells.
+    PlantStuckBurst {
+        /// Victim lines.
+        lines: u32,
+        /// Stuck cells per victim line.
+        cells_per_line: u16,
+    },
+    /// Re-age the DIMM.
+    SetAge {
+        /// Consumed-lifetime fraction.
+        lifetime_fraction: f64,
+    },
+}
+
+impl std::fmt::Display for ChaosAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosAction::BeginStorm { mult } => write!(f, "begin storm x{mult}"),
+            ChaosAction::EndStorm => write!(f, "end storm"),
+            ChaosAction::PlantStuckBurst {
+                lines,
+                cells_per_line,
+            } => write!(f, "plant {lines} lines x {cells_per_line} stuck cells"),
+            ChaosAction::SetAge { lifetime_fraction } => {
+                write!(f, "set DIMM age {lifetime_fraction}")
+            }
+        }
+    }
+}
+
+/// One executed action, as recorded in the controller's fault log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Committed-write count at execution time.
+    pub at_write: u64,
+    /// Simulation cycle at execution time.
+    pub at_cycle: u64,
+    /// What was done.
+    pub action: ChaosAction,
+}
+
+/// Steps a [`ChaosPlan`] against the committed-write counter.
+#[derive(Debug, Clone)]
+pub struct ChaosEngine {
+    plan: ChaosPlan,
+    cursor: usize,
+    /// Write count at which the active storm expires.
+    storm_until: Option<u64>,
+}
+
+impl ChaosEngine {
+    /// Starts a scenario from write zero.
+    #[must_use]
+    pub fn new(plan: ChaosPlan) -> ChaosEngine {
+        ChaosEngine {
+            plan,
+            cursor: 0,
+            storm_until: None,
+        }
+    }
+
+    /// Returns the actions due at `committed_writes`, in deterministic
+    /// order: storm expiry first, then newly triggered faults in plan
+    /// order. Overlapping storms coalesce — a new window replaces the
+    /// multiplier and the expiry point.
+    pub fn poll(&mut self, committed_writes: u64) -> Vec<ChaosAction> {
+        let mut out = Vec::new();
+        if let Some(until) = self.storm_until {
+            if committed_writes >= until {
+                self.storm_until = None;
+                out.push(ChaosAction::EndStorm);
+            }
+        }
+        while let Some(f) = self.plan.faults.get(self.cursor) {
+            if f.at_write > committed_writes {
+                break;
+            }
+            self.cursor += 1;
+            match f.kind {
+                FaultKind::Storm {
+                    mult,
+                    duration_writes,
+                } => {
+                    self.storm_until = Some(committed_writes + duration_writes);
+                    out.push(ChaosAction::BeginStorm { mult });
+                }
+                FaultKind::StuckBurst {
+                    lines,
+                    cells_per_line,
+                } => out.push(ChaosAction::PlantStuckBurst {
+                    lines,
+                    cells_per_line,
+                }),
+                FaultKind::AgingRamp { lifetime_fraction } => {
+                    out.push(ChaosAction::SetAge { lifetime_fraction });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every fault has fired and no storm is pending expiry.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.cursor == self.plan.faults.len() && self.storm_until.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storm(at: u64, mult: f64, dur: u64) -> ScheduledFault {
+        ScheduledFault {
+            at_write: at,
+            kind: FaultKind::Storm {
+                mult,
+                duration_writes: dur,
+            },
+        }
+    }
+
+    #[test]
+    fn plan_validates_and_sorts() {
+        let plan = ChaosPlan::new(vec![
+            storm(50, 2.0, 10),
+            ScheduledFault {
+                at_write: 10,
+                kind: FaultKind::AgingRamp {
+                    lifetime_fraction: 0.5,
+                },
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.faults()[0].at_write, 10);
+        assert_eq!(plan.faults()[1].at_write, 50);
+
+        assert_eq!(
+            ChaosPlan::new(vec![storm(0, -1.0, 5)]),
+            Err(ChaosError::InvalidStormMult { value: -1.0 })
+        );
+        assert_eq!(
+            ChaosPlan::new(vec![storm(0, 2.0, 0)]),
+            Err(ChaosError::EmptyStormWindow)
+        );
+        assert_eq!(
+            ChaosPlan::new(vec![ScheduledFault {
+                at_write: 0,
+                kind: FaultKind::StuckBurst {
+                    lines: 0,
+                    cells_per_line: 3
+                },
+            }]),
+            Err(ChaosError::InvalidBurst {
+                lines: 0,
+                cells_per_line: 3
+            })
+        );
+        assert_eq!(
+            ChaosPlan::new(vec![ScheduledFault {
+                at_write: 0,
+                kind: FaultKind::AgingRamp {
+                    lifetime_fraction: 1.5
+                },
+            }]),
+            Err(ChaosError::InvalidAge { value: 1.5 })
+        );
+    }
+
+    #[test]
+    fn storm_opens_and_expires() {
+        let mut eng = ChaosEngine::new(ChaosPlan::new(vec![storm(5, 4.0, 10)]).unwrap());
+        assert!(eng.poll(4).is_empty());
+        assert_eq!(eng.poll(5), vec![ChaosAction::BeginStorm { mult: 4.0 }]);
+        assert!(eng.poll(14).is_empty());
+        assert_eq!(eng.poll(15), vec![ChaosAction::EndStorm]);
+        assert!(eng.exhausted());
+    }
+
+    #[test]
+    fn overlapping_storms_coalesce() {
+        let mut eng =
+            ChaosEngine::new(ChaosPlan::new(vec![storm(0, 2.0, 100), storm(10, 8.0, 5)]).unwrap());
+        assert_eq!(eng.poll(0), vec![ChaosAction::BeginStorm { mult: 2.0 }]);
+        assert_eq!(eng.poll(10), vec![ChaosAction::BeginStorm { mult: 8.0 }]);
+        // The second window's expiry governs.
+        assert_eq!(eng.poll(15), vec![ChaosAction::EndStorm]);
+        assert!(eng.exhausted());
+    }
+
+    #[test]
+    fn skipped_polls_catch_up() {
+        // Writes can jump past several trigger points between polls
+        // (bursty drains); everything due fires in plan order.
+        let mut eng = ChaosEngine::new(
+            ChaosPlan::new(vec![
+                ScheduledFault {
+                    at_write: 3,
+                    kind: FaultKind::StuckBurst {
+                        lines: 2,
+                        cells_per_line: 1,
+                    },
+                },
+                ScheduledFault {
+                    at_write: 7,
+                    kind: FaultKind::AgingRamp {
+                        lifetime_fraction: 1.0,
+                    },
+                },
+            ])
+            .unwrap(),
+        );
+        let actions = eng.poll(20);
+        assert_eq!(
+            actions,
+            vec![
+                ChaosAction::PlantStuckBurst {
+                    lines: 2,
+                    cells_per_line: 1
+                },
+                ChaosAction::SetAge {
+                    lifetime_fraction: 1.0
+                },
+            ]
+        );
+        assert!(eng.exhausted());
+    }
+}

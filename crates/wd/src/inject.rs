@@ -14,6 +14,38 @@ use crate::pattern::{bitline_vulnerable, wordline_vulnerable};
 use crate::scaling::ArraySpacing;
 use crate::thermal::Direction;
 
+/// A rejected injector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WdError {
+    /// A disturbance probability outside `[0, 1]`.
+    InvalidProbability {
+        /// Which probability was rejected (`"word-line"`/`"bit-line"`).
+        which: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A storm multiplier that is negative or non-finite.
+    InvalidStorm {
+        /// The rejected multiplier.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for WdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WdError::InvalidProbability { which, value } => {
+                write!(f, "{which} disturbance probability {value} outside [0, 1]")
+            }
+            WdError::InvalidStorm { value } => {
+                write!(f, "storm multiplier {value} must be finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WdError {}
+
 /// Seeded disturbance injector for one simulated memory system.
 ///
 /// # Examples
@@ -36,6 +68,8 @@ use crate::thermal::Direction;
 pub struct WdInjector {
     p_wl: f64,
     p_bl: f64,
+    /// Chaos-harness multiplier on both probabilities (1.0 = calm).
+    storm: f64,
     rng: SimRng,
 }
 
@@ -47,38 +81,70 @@ impl WdInjector {
         WdInjector {
             p_wl: model.probability(Direction::WordLine, spacing),
             p_bl: model.probability(Direction::BitLine, spacing),
+            storm: 1.0,
             rng,
         }
     }
 
-    /// Builds an injector with explicit probabilities (tests, ablations).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a probability is outside `[0, 1]`.
-    #[must_use]
-    pub fn with_probs(p_wl: f64, p_bl: f64, rng: SimRng) -> WdInjector {
-        assert!((0.0..=1.0).contains(&p_wl) && (0.0..=1.0).contains(&p_bl));
-        WdInjector { p_wl, p_bl, rng }
+    /// Builds an injector with explicit probabilities (ablations, chaos
+    /// scenarios); rejects probabilities outside `[0, 1]`.
+    pub fn with_probs(p_wl: f64, p_bl: f64, rng: SimRng) -> Result<WdInjector, WdError> {
+        for (which, value) in [("word-line", p_wl), ("bit-line", p_bl)] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(WdError::InvalidProbability { which, value });
+            }
+        }
+        Ok(WdInjector {
+            p_wl,
+            p_bl,
+            storm: 1.0,
+            rng,
+        })
     }
 
-    /// Per-RESET word-line disturbance probability in effect.
+    /// Per-RESET word-line disturbance probability in effect (including
+    /// any active storm).
     #[must_use]
     pub fn p_wordline(&self) -> f64 {
-        self.p_wl
+        (self.p_wl * self.storm).clamp(0.0, 1.0)
     }
 
-    /// Per-RESET bit-line disturbance probability in effect.
+    /// Per-RESET bit-line disturbance probability in effect (including
+    /// any active storm).
     #[must_use]
     pub fn p_bitline(&self) -> f64 {
-        self.p_bl
+        (self.p_bl * self.storm).clamp(0.0, 1.0)
+    }
+
+    /// Enters an elevated-disturbance window: both calibrated
+    /// probabilities are scaled by `mult` (clamped to 1.0) until
+    /// [`WdInjector::clear_storm`]. Rejects negative or non-finite
+    /// multipliers.
+    pub fn set_storm(&mut self, mult: f64) -> Result<(), WdError> {
+        if !mult.is_finite() || mult < 0.0 {
+            return Err(WdError::InvalidStorm { value: mult });
+        }
+        self.storm = mult;
+        Ok(())
+    }
+
+    /// Returns to the calibrated probabilities.
+    pub fn clear_storm(&mut self) {
+        self.storm = 1.0;
+    }
+
+    /// The active storm multiplier (1.0 when calm).
+    #[must_use]
+    pub fn storm(&self) -> f64 {
+        self.storm
     }
 
     /// Rolls word-line disturbances for a write: which idle `0` cells of
     /// the written line flip to `1`. `after` is the line's post-write
     /// content, `diff` the write's mask.
     pub fn draw_wordline(&mut self, after: &LineBuf, diff: &DiffMask) -> Vec<u16> {
-        if self.p_wl <= 0.0 {
+        let p_wl = self.p_wordline();
+        if p_wl <= 0.0 {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -90,7 +156,7 @@ impl WdInjector {
             let right = b + 1 < sdpcm_pcm::line::LINE_BITS && diff.is_reset(b + 1);
             let exposures = usize::from(left) + usize::from(right);
             for _ in 0..exposures {
-                if self.rng.chance(self.p_wl) {
+                if self.rng.chance(p_wl) {
                     out.push(victim);
                     break;
                 }
@@ -102,12 +168,13 @@ impl WdInjector {
     /// Rolls bit-line disturbances in one adjacent line: which of its `0`
     /// cells under RESET positions of the written line flip to `1`.
     pub fn draw_bitline(&mut self, diff: &DiffMask, neighbor: &LineBuf) -> Vec<u16> {
-        if self.p_bl <= 0.0 {
+        let p_bl = self.p_bitline();
+        if p_bl <= 0.0 {
             return Vec::new();
         }
         let mut out = Vec::new();
         for victim in bitline_vulnerable(diff, neighbor) {
-            if self.rng.chance(self.p_bl) {
+            if self.rng.chance(p_bl) {
                 out.push(victim);
             }
         }
@@ -121,6 +188,7 @@ mod tests {
 
     fn injector(p_wl: f64, p_bl: f64) -> WdInjector {
         WdInjector::with_probs(p_wl, p_bl, SimRng::from_seed_label(99, "inj-test"))
+            .expect("test probabilities are valid")
     }
 
     fn reset_heavy_diff(n: usize) -> (LineBuf, DiffMask) {
@@ -189,6 +257,52 @@ mod tests {
             a.draw_bitline(&diff, &LineBuf::zeroed()),
             b.draw_bitline(&diff, &LineBuf::zeroed())
         );
+    }
+
+    #[test]
+    fn with_probs_rejects_out_of_range() {
+        let rng = || SimRng::from_seed(7);
+        assert_eq!(
+            WdInjector::with_probs(1.5, 0.1, rng()).unwrap_err(),
+            WdError::InvalidProbability {
+                which: "word-line",
+                value: 1.5
+            }
+        );
+        assert_eq!(
+            WdInjector::with_probs(0.1, -0.2, rng()).unwrap_err(),
+            WdError::InvalidProbability {
+                which: "bit-line",
+                value: -0.2
+            }
+        );
+        assert!(WdInjector::with_probs(0.0, 1.0, rng()).is_ok());
+    }
+
+    #[test]
+    fn storm_scales_probabilities_and_clamps() {
+        let mut inj = injector(0.099, 0.115);
+        inj.set_storm(4.0).unwrap();
+        assert!((inj.p_wordline() - 0.396).abs() < 1e-12);
+        assert!((inj.p_bitline() - 0.46).abs() < 1e-12);
+        inj.set_storm(100.0).unwrap();
+        assert_eq!(inj.p_wordline(), 1.0, "clamped to a probability");
+        inj.clear_storm();
+        assert!((inj.p_wordline() - 0.099).abs() < 1e-12);
+        assert_eq!(
+            inj.set_storm(-1.0),
+            Err(WdError::InvalidStorm { value: -1.0 })
+        );
+        assert!(inj.set_storm(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn storm_zero_silences_injection() {
+        let mut inj = injector(1.0, 1.0);
+        inj.set_storm(0.0).unwrap();
+        let (after, diff) = reset_heavy_diff(20);
+        assert!(inj.draw_wordline(&after, &diff).is_empty());
+        assert!(inj.draw_bitline(&diff, &LineBuf::zeroed()).is_empty());
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   group-inversion coding that minimizes WL-vulnerable patterns.
 //! * [`inject`] — the seeded fault injector used by the memory controller
 //!   during simulated writes.
+//! * [`chaos`] — deterministic fault-scenario scheduling (stuck-at
+//!   bursts, elevated-WD storm windows, aging ramps) keyed on the
+//!   committed write stream.
 
+pub mod chaos;
 pub mod din;
 pub mod disturb;
 pub mod fnw;
@@ -30,9 +34,12 @@ pub mod pattern;
 pub mod scaling;
 pub mod thermal;
 
+pub use chaos::{
+    ChaosAction, ChaosEngine, ChaosError, ChaosPlan, FaultEvent, FaultKind, ScheduledFault,
+};
 pub use din::{DinCodec, DinFlags};
 pub use disturb::DisturbanceModel;
 pub use fnw::FnwCodec;
-pub use inject::WdInjector;
+pub use inject::{WdError, WdInjector};
 pub use scaling::{Spacing, TechNode};
 pub use thermal::ThermalModel;

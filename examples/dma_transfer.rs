@@ -26,7 +26,7 @@ fn line_addr(geometry: &MemGeometry, frame: u64, slot: u8) -> LineAddr {
 fn settle(ctrl: &mut MemoryController, now: Cycle) {
     ctrl.drain_all(now);
     while let Some(t) = ctrl.next_event() {
-        let _ = ctrl.advance(t);
+        let _ = ctrl.advance(t).unwrap();
         ctrl.drain_all(t);
     }
 }
@@ -80,7 +80,8 @@ fn main() {
                     arrive: now,
                 },
                 now,
-            );
+            )
+            .unwrap();
         }
         settle(&mut ctrl, now);
         let ok = written

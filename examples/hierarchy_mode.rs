@@ -76,7 +76,8 @@ fn main() {
                     arrive: now,
                 },
                 now,
-            );
+            )
+            .unwrap();
             next_id += 1;
         };
 
@@ -90,12 +91,12 @@ fn main() {
         }
         // Let the controller catch up now and then.
         if i % 64 == 0 {
-            let _ = ctrl.advance(now);
+            let _ = ctrl.advance(now).unwrap();
         }
     }
     ctrl.drain_all(now);
     while let Some(t) = ctrl.next_event() {
-        let _ = ctrl.advance(t);
+        let _ = ctrl.advance(t).unwrap();
         ctrl.drain_all(t);
     }
 

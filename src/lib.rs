@@ -33,9 +33,10 @@
 //! use sdpcm::trace::BenchKind;
 //!
 //! let params = ExperimentParams::quick_test();
-//! let mut sim = SystemSim::build(Scheme::lazyc_preread(), BenchKind::Mcf, &params);
-//! let stats = sim.run();
+//! let mut sim = SystemSim::build(Scheme::lazyc_preread(), BenchKind::Mcf, &params)?;
+//! let stats = sim.run()?;
 //! assert!(stats.total_cycles > 0);
+//! # Ok::<(), sdpcm::core::SdpcmError>(())
 //! ```
 
 /// The types most programs need, in one import.
@@ -44,11 +45,11 @@
 /// use sdpcm::prelude::*;
 ///
 /// let params = ExperimentParams::quick_test();
-/// let mut sim = SystemSim::build(Scheme::din(), BenchKind::Wrf, &params);
-/// let _ = sim.run();
+/// let mut sim = SystemSim::build(Scheme::din(), BenchKind::Wrf, &params).unwrap();
+/// let _ = sim.run().unwrap();
 /// ```
 pub mod prelude {
-    pub use sdpcm_core::{ExperimentParams, RunStats, Scheme, SystemSim};
+    pub use sdpcm_core::{ExperimentParams, FaultPlan, RunStats, Scheme, SdpcmError, SystemSim};
     pub use sdpcm_engine::{Cycle, SimRng};
     pub use sdpcm_memctrl::{Access, AccessKind, CtrlConfig, CtrlScheme, MemoryController, ReqId};
     pub use sdpcm_osalloc::NmRatio;

@@ -106,17 +106,19 @@ impl Harness {
                 data.set_bit(b, !v);
             }
             self.shadow.insert(addr, data);
-            self.ctrl.submit(
-                Access {
-                    id,
-                    addr,
-                    kind: AccessKind::Write(data),
-                    ratio,
-                    core: 0,
-                    arrive: self.now,
-                },
-                self.now,
-            );
+            self.ctrl
+                .submit(
+                    Access {
+                        id,
+                        addr,
+                        kind: AccessKind::Write(data),
+                        ratio,
+                        core: 0,
+                        arrive: self.now,
+                    },
+                    self.now,
+                )
+                .unwrap();
         } else {
             // Program order: the read must observe the newest write, even
             // if it is still queued. Like the in-order cores of Table 2,
@@ -124,39 +126,41 @@ impl Harness {
             // must not overtake an outstanding load of the same location.
             let expect = self.expected(addr);
             self.pending_reads.insert(id, (addr, expect));
-            self.ctrl.submit(
-                Access {
-                    id,
-                    addr,
-                    kind: AccessKind::Read,
-                    ratio,
-                    core: 0,
-                    arrive: self.now,
-                },
-                self.now,
-            );
+            self.ctrl
+                .submit(
+                    Access {
+                        id,
+                        addr,
+                        kind: AccessKind::Read,
+                        ratio,
+                        core: 0,
+                        arrive: self.now,
+                    },
+                    self.now,
+                )
+                .unwrap();
             while self.pending_reads.contains_key(&id) {
                 let t = self
                     .ctrl
                     .next_event()
                     .expect("read in flight keeps the controller busy");
                 self.now = self.now.max(t);
-                let done = self.ctrl.advance(t);
+                let done = self.ctrl.advance(t).unwrap();
                 self.check(done);
             }
         }
-        let done = self.ctrl.advance(self.now);
+        let done = self.ctrl.advance(self.now).unwrap();
         self.check(done);
     }
 
     fn finish(&mut self) {
         self.ctrl.drain_all(self.now);
         while let Some(t) = self.ctrl.next_event() {
-            let done = self.ctrl.advance(t);
+            let done = self.ctrl.advance(t).unwrap();
             self.check(done);
             self.ctrl.drain_all(t);
         }
-        let done = self.ctrl.advance(Cycle::MAX);
+        let done = self.ctrl.advance(Cycle::MAX).unwrap();
         self.check(done);
     }
 

@@ -149,7 +149,8 @@ fn run_schedule(choice: &SchemeChoice, ops: &[Op]) -> Result<(), String> {
                     arrive: now,
                 },
                 now,
-            );
+            )
+            .unwrap();
         } else {
             let expect = shadow
                 .get(&addr)
@@ -166,14 +167,15 @@ fn run_schedule(choice: &SchemeChoice, ops: &[Op]) -> Result<(), String> {
                     arrive: now,
                 },
                 now,
-            );
+            )
+            .unwrap();
             // In-order core semantics: block until this read completes so
             // later writes cannot legally overtake it.
             while pending.contains_key(&id) {
                 let t = ctrl
                     .next_event()
                     .ok_or_else(|| "read lost: controller went idle".to_owned())?;
-                for c in ctrl.advance(t) {
+                for c in ctrl.advance(t).unwrap() {
                     if let Some((a, expect)) = pending.remove(&c.id) {
                         if c.data != Some(expect) && !unprotectable(&ctrl, a) {
                             return Err(format!("read of {a} returned wrong data (op {i})"));
@@ -182,7 +184,7 @@ fn run_schedule(choice: &SchemeChoice, ops: &[Op]) -> Result<(), String> {
                 }
             }
         }
-        for c in ctrl.advance(now) {
+        for c in ctrl.advance(now).unwrap() {
             if let Some((a, expect)) = pending.remove(&c.id) {
                 if c.data != Some(expect) && !unprotectable(&ctrl, a) {
                     return Err(format!("read of {a} returned wrong data (op {i})"));
@@ -193,7 +195,7 @@ fn run_schedule(choice: &SchemeChoice, ops: &[Op]) -> Result<(), String> {
     // Settle and sweep.
     ctrl.drain_all(now);
     while let Some(t) = ctrl.next_event() {
-        for c in ctrl.advance(t) {
+        for c in ctrl.advance(t).unwrap() {
             if let Some((a, expect)) = pending.remove(&c.id) {
                 if c.data != Some(expect) && !unprotectable(&ctrl, a) {
                     return Err(format!("late read of {a} returned wrong data"));
@@ -221,6 +223,136 @@ proptest! {
         if let Err(e) = run_schedule(&choice, &ops) {
             prop_assert!(false, "{} under {:?}", e, choice);
         }
+    }
+}
+
+/// Satellite property for the chaos harness: under *any* valid fault
+/// plan and any mechanism combination, a full run is bit-reproducible —
+/// the same seed yields identical controller statistics, fault logs, and
+/// final device contents.
+#[derive(Debug, Clone)]
+struct PlanChoice {
+    storm_at: u64,
+    storm_mult: f64,
+    storm_len: u64,
+    burst_at: u64,
+    burst_lines: u32,
+    burst_cells: u16,
+    age: Option<f64>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = PlanChoice> {
+    (
+        0u64..60,
+        0.5f64..2.5,
+        10u64..100_000,
+        0u64..80,
+        1u32..5,
+        1u16..4,
+        (any::<bool>(), 0.0f64..1.0),
+    )
+        .prop_map(
+            |(storm_at, storm_mult, storm_len, burst_at, burst_lines, burst_cells, age)| {
+                PlanChoice {
+                    storm_at,
+                    storm_mult,
+                    storm_len,
+                    burst_at,
+                    burst_lines,
+                    burst_cells,
+                    age: age.0.then_some(age.1),
+                }
+            },
+        )
+}
+
+fn run_with_plan(
+    choice: &SchemeChoice,
+    plan: &PlanChoice,
+    ops: &[Op],
+) -> (
+    sdpcm::memctrl::CtrlStats,
+    Vec<sdpcm::wd::chaos::FaultEvent>,
+    u64,
+) {
+    let mut scheme = CtrlScheme::baseline_vnc();
+    scheme.lazy_correction = choice.lazyc;
+    scheme.preread = choice.preread;
+    scheme.write_cancellation = choice.cancel;
+    scheme.write_pausing = choice.pause;
+    let cfg = CtrlConfig {
+        write_queue_cap: choice.queue_cap,
+        ecp_entries: choice.ecp_entries,
+        ..CtrlConfig::table2(scheme)
+    };
+    let mut ctrl = MemoryController::new(
+        cfg,
+        MemGeometry::small(64),
+        SimRng::from_seed_label(97, "stress"),
+    );
+    let mut fp = sdpcm::core::FaultPlan::new()
+        .storm(plan.storm_at, plan.storm_mult, plan.storm_len)
+        .stuck_burst(plan.burst_at, plan.burst_lines, plan.burst_cells);
+    if let Some(age) = plan.age {
+        fp = fp.aging_ramp(plan.burst_at + 20, age);
+    }
+    ctrl.install_chaos(fp.build().expect("generated plans are valid"));
+
+    let mut now = Cycle::ZERO;
+    for (i, op) in ops.iter().enumerate() {
+        now += Cycle(op.gap);
+        let addr = LineAddr {
+            bank: BankId(op.bank),
+            row: RowId(op.row),
+            slot: op.slot,
+        };
+        let mut data = ctrl.store().initial_line(addr);
+        flip(&mut data, op.flip_seed);
+        let kind = if op.is_write {
+            AccessKind::Write(data)
+        } else {
+            AccessKind::Read
+        };
+        ctrl.submit(
+            Access {
+                id: ReqId(i as u64),
+                addr,
+                kind,
+                ratio: NmRatio::one_one(),
+                core: 0,
+                arrive: now,
+            },
+            now,
+        )
+        .unwrap();
+        let _ = ctrl.advance(now).unwrap();
+    }
+    ctrl.drain_all(now);
+    while let Some(t) = ctrl.next_event() {
+        let _ = ctrl.advance(t).unwrap();
+        ctrl.drain_all(t);
+    }
+    (
+        ctrl.stats().clone(),
+        ctrl.fault_log().to_vec(),
+        ctrl.store().content_digest(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn chaos_runs_replay_bit_exactly(
+        choice in scheme_strategy(),
+        plan in plan_strategy(),
+        ops in vec(op_strategy(), 40..120),
+    ) {
+        let a = run_with_plan(&choice, &plan, &ops);
+        let b = run_with_plan(&choice, &plan, &ops);
+        prop_assert_eq!(&a.0, &b.0, "CtrlStats diverged under {:?}", &plan);
+        prop_assert_eq!(&a.1, &b.1, "fault logs diverged under {:?}", &plan);
+        prop_assert_eq!(a.2, b.2, "device contents diverged under {:?}", &plan);
     }
 }
 

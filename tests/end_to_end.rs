@@ -108,8 +108,9 @@ fn mixed_workload_runs() {
         BenchKind::Stream.profile(),
     ];
     let w = Workload::mixed("mix-all", profiles);
-    let mut sim = sdpcm::core::SystemSim::build_workload(Scheme::lazyc_preread(), &w, &params());
-    let r = sim.run();
+    let mut sim = sdpcm::core::SystemSim::build_workload(Scheme::lazyc_preread(), &w, &params())
+        .expect("mixed workload fits the sized geometry");
+    let r = sim.run().expect("mixed workload completes");
     assert_eq!(r.workload, "mix-all");
     assert_eq!(r.reads + r.writes, 8 * 800);
 }
@@ -139,18 +140,29 @@ fn write_cancellation_reduces_read_latency_on_read_heavy_mix() {
 
 #[test]
 fn aging_degrades_gracefully() {
-    let p = params();
+    // 800 refs is noise-dominated for a cycle-ratio check (queue
+    // alignment alone swings it by >20%); 2500 refs, as used by the
+    // other latency-sensitive tests above, keeps the ratio stable.
+    let p = ExperimentParams {
+        refs_per_core: 2_500,
+        ..params()
+    };
     let fresh = run_cell(Scheme::lazyc(), BenchKind::Zeusmp, &p);
     let aged_params = ExperimentParams {
         dimm_age: Some(1.0),
         ..p
     };
     let aged = run_cell(Scheme::lazyc(), BenchKind::Zeusmp, &aged_params);
+    assert!(
+        aged.ctrl.correction_ops.get() > 2 * fresh.ctrl.correction_ops.get(),
+        "end-of-life hard errors must force extra corrections: {} vs {}",
+        aged.ctrl.correction_ops.get(),
+        fresh.ctrl.correction_ops.get()
+    );
     let speedup = aged.speedup_vs(&fresh);
-    // Figure 14: end-of-life degradation stays small. A single workload
-    // at test scale carries ±3% queue-alignment noise, so this checks
-    // the band; the monotone trend is asserted by the gmean-across-
-    // benchmarks shape test (experiments_shape::fig14_shape...).
+    // Figure 14: end-of-life degradation stays small. The monotone trend
+    // is asserted by the gmean-across-benchmarks shape test
+    // (experiments_shape::fig14_shape...).
     assert!(
         (0.85..1.05).contains(&speedup),
         "end-of-life impact must be modest: {speedup}"

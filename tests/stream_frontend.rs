@@ -55,12 +55,13 @@ fn run_stream(scheme: CtrlScheme, n: usize) -> (MemoryController, HashMap<LineAd
                 arrive: now,
             },
             now,
-        );
-        let _ = ctrl.advance(now);
+        )
+        .unwrap();
+        let _ = ctrl.advance(now).unwrap();
     }
     ctrl.drain_all(now);
     while let Some(t) = ctrl.next_event() {
-        let _ = ctrl.advance(t);
+        let _ = ctrl.advance(t).unwrap();
         ctrl.drain_all(t);
     }
     (ctrl, shadow)
