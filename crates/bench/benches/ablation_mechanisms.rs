@@ -55,7 +55,7 @@ fn mechanism_benches(c: &mut Criterion) {
             ctrl: Scheme::lazyc().ctrl.with_inline_ecp_writes(),
             ratio: NmRatio::one_one(),
         };
-        b.iter(|| black_box(run_cell(s.clone(), BenchKind::Lbm, &p)))
+        b.iter(|| black_box(run_cell(&s, BenchKind::Lbm, &p)))
     });
     g.bench_function("write_pausing", |b| {
         let s = Scheme {
@@ -63,7 +63,7 @@ fn mechanism_benches(c: &mut Criterion) {
             ctrl: Scheme::lazyc().ctrl.with_write_pausing(),
             ratio: NmRatio::one_one(),
         };
-        b.iter(|| black_box(run_cell(s.clone(), BenchKind::Mcf, &p)))
+        b.iter(|| black_box(run_cell(&s, BenchKind::Mcf, &p)))
     });
     g.bench_function("start_gap_psi64", |b| {
         let s = Scheme {
@@ -71,7 +71,7 @@ fn mechanism_benches(c: &mut Criterion) {
             ctrl: Scheme::din().ctrl.with_start_gap(64),
             ratio: NmRatio::one_one(),
         };
-        b.iter(|| black_box(run_cell(s.clone(), BenchKind::Zeusmp, &p)))
+        b.iter(|| black_box(run_cell(&s, BenchKind::Zeusmp, &p)))
     });
     g.finish();
 }

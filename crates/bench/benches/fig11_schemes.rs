@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     for scheme in Scheme::figure11_set() {
         let name = scheme.name.clone();
         g.bench_function(&name, |b| {
-            b.iter(|| black_box(run_cell(scheme.clone(), BenchKind::Zeusmp, &p)))
+            b.iter(|| black_box(run_cell(&scheme, BenchKind::Zeusmp, &p)))
         });
     }
     g.finish();

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
             Scheme::lazyc()
         };
         g.bench_function(format!("ecp{entries}"), |b| {
-            b.iter(|| black_box(run_cell(scheme.clone(), BenchKind::Mcf, &p)))
+            b.iter(|| black_box(run_cell(&scheme, BenchKind::Mcf, &p)))
         });
     }
     g.finish();

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
             ..params::criterion()
         };
         g.bench_function(format!("age{:.0}pct", age * 100.0), |b| {
-            b.iter(|| black_box(run_cell(Scheme::lazyc(), BenchKind::Zeusmp, &p)))
+            b.iter(|| black_box(run_cell(&Scheme::lazyc(), BenchKind::Zeusmp, &p)))
         });
     }
     g.finish();

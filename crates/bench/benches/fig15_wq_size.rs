@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
             ..params::criterion()
         };
         g.bench_function(format!("wq{q}"), |b| {
-            b.iter(|| black_box(run_cell(Scheme::lazyc_preread(), BenchKind::Mcf, &p)))
+            b.iter(|| black_box(run_cell(&Scheme::lazyc_preread(), BenchKind::Mcf, &p)))
         });
     }
     g.finish();

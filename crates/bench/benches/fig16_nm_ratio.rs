@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(ratio.to_string(), |b| {
             b.iter(|| {
                 black_box(run_cell(
-                    Scheme::baseline_with_ratio(ratio),
+                    &Scheme::baseline_with_ratio(ratio),
                     BenchKind::Lbm,
                     &p,
                 ))

@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("lazyc_wear_run", |b| {
         b.iter(|| {
-            let r = run_cell(Scheme::lazyc(), BenchKind::Lbm, &p);
+            let r = run_cell(&Scheme::lazyc(), BenchKind::Lbm, &p);
             black_box(r.wear.data_lifetime_norm())
         })
     });

@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("lazyc_ecp_traffic_run", |b| {
         b.iter(|| {
-            let r = run_cell(Scheme::lazyc(), BenchKind::Mcf, &p);
+            let r = run_cell(&Scheme::lazyc(), BenchKind::Mcf, &p);
             black_box(r.wear.ecp_lifetime_norm())
         })
     });

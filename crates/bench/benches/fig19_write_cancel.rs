@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig19");
     g.sample_size(10);
     g.bench_function("vnc", |b| {
-        b.iter(|| black_box(run_cell(Scheme::baseline(), BenchKind::Bwaves, &p)))
+        b.iter(|| black_box(run_cell(&Scheme::baseline(), BenchKind::Bwaves, &p)))
     });
     g.bench_function("wc_lazyc", |b| {
         let scheme = Scheme {
@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
             ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
             ratio: NmRatio::one_one(),
         };
-        b.iter(|| black_box(run_cell(scheme.clone(), BenchKind::Bwaves, &p)))
+        b.iter(|| black_box(run_cell(&scheme, BenchKind::Bwaves, &p)))
     });
     g.finish();
 }

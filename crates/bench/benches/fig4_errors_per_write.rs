@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for bench in [BenchKind::Mcf, BenchKind::GemsFdtd] {
         g.bench_function(bench.name(), |b| {
-            b.iter(|| black_box(run_cell(Scheme::baseline(), bench, &p)))
+            b.iter(|| black_box(run_cell(&Scheme::baseline(), bench, &p)))
         });
     }
     g.finish();

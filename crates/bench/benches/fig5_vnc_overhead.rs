@@ -13,10 +13,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     g.bench_function("din_run", |b| {
-        b.iter(|| black_box(run_cell(Scheme::din(), BenchKind::Lbm, &p)))
+        b.iter(|| black_box(run_cell(&Scheme::din(), BenchKind::Lbm, &p)))
     });
     g.bench_function("basic_vnc_run", |b| {
-        b.iter(|| black_box(run_cell(Scheme::baseline(), BenchKind::Lbm, &p)))
+        b.iter(|| black_box(run_cell(&Scheme::baseline(), BenchKind::Lbm, &p)))
     });
     g.finish();
 }

@@ -1,0 +1,291 @@
+//! The perf-trajectory harness behind `figures bench`.
+//!
+//! Measures what this repository cares about going fast — single-cell
+//! simulation throughput (simulated cycles per wall-clock second, demand
+//! writes retired per second) and full-figure sweep wall time, sequential
+//! versus parallel — and serializes the results as `BENCH_sweep.json` so
+//! successive PRs accumulate a machine-readable perf trajectory to
+//! regress against.
+//!
+//! Timing uses the vendored criterion shim's [`criterion::time_function`]
+//! loop; JSON is emitted by a local writer (the workspace builds offline,
+//! so no serde).
+
+use std::fmt::Write as _;
+
+use criterion::time_function;
+use sdpcm_core::experiments::{fig11, run_cell};
+use sdpcm_core::sweep;
+use sdpcm_core::{ExperimentParams, Scheme};
+use sdpcm_trace::BenchKind;
+
+/// Throughput of one repeatedly-simulated `(scheme, benchmark)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleCell {
+    /// Scheme name.
+    pub scheme: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Timed iterations.
+    pub samples: u64,
+    /// Mean wall-clock seconds per simulation.
+    pub mean_secs: f64,
+    /// Simulated device cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Demand writes retired per wall-clock second.
+    pub writes_per_sec: f64,
+}
+
+/// Wall time of one full figure sweep, sequential vs parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTiming {
+    /// Figure id (e.g. `"fig11"`).
+    pub figure: String,
+    /// Simulation cells in the sweep.
+    pub cells: usize,
+    /// Wall seconds with one worker (the sequential reference).
+    pub sequential_secs: f64,
+    /// Wall seconds on the full worker pool.
+    pub parallel_secs: f64,
+    /// Workers the parallel run used.
+    pub workers: usize,
+    /// Whether the parallel rows matched the sequential rows exactly.
+    pub identical: bool,
+}
+
+/// Everything one `figures bench` invocation measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfResults {
+    /// `"smoke"` or `"default"`.
+    pub mode: String,
+    /// Cores the host reports ([`std::thread::available_parallelism`]).
+    pub host_cores: usize,
+    /// Seed the simulations used.
+    pub seed: u64,
+    /// References per core per simulation.
+    pub refs_per_core: u64,
+    /// Single-cell throughput measurements.
+    pub single_cells: Vec<SingleCell>,
+    /// Figure-sweep timings.
+    pub figures: Vec<FigureTiming>,
+}
+
+/// Runs the perf harness: times single-cell throughput and the fig11
+/// sweep (sequential, then on `workers` workers, checking the outputs
+/// match). `mode` is recorded verbatim in the results.
+#[must_use]
+pub fn run(mode: &str, params: &ExperimentParams, workers: usize) -> PerfResults {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let samples = if mode == "smoke" { 2 } else { 5 };
+
+    let mut single_cells = Vec::new();
+    for (scheme, bench) in [
+        (Scheme::baseline(), BenchKind::Mcf),
+        (Scheme::lazyc_preread(), BenchKind::Mcf),
+    ] {
+        let reference = run_cell(&scheme, bench, params);
+        let m = time_function(samples, || run_cell(&scheme, bench, params));
+        let secs = m.mean_secs().max(1e-12);
+        single_cells.push(SingleCell {
+            scheme: scheme.name.clone(),
+            bench: bench.name().to_owned(),
+            samples: m.samples,
+            mean_secs: m.mean_secs(),
+            cycles_per_sec: reference.total_cycles as f64 / secs,
+            writes_per_sec: reference.writes as f64 / secs,
+        });
+    }
+
+    // fig11: every bench runs the baseline normalization cell plus each
+    // non-baseline scheme of the figure's set.
+    let cells = BenchKind::all().len() * Scheme::figure11_set().len();
+    let seq = with_workers(1, || time_and_run(params));
+    let par = with_workers(workers, || time_and_run(params));
+    let figures = vec![FigureTiming {
+        figure: "fig11".to_owned(),
+        cells,
+        sequential_secs: seq.0,
+        parallel_secs: par.0,
+        workers,
+        identical: seq.1 == par.1,
+    }];
+
+    PerfResults {
+        mode: mode.to_owned(),
+        host_cores,
+        seed: params.seed,
+        refs_per_core: params.refs_per_core,
+        single_cells,
+        figures,
+    }
+}
+
+/// Times one fig11 sweep, returning (wall seconds, rows).
+fn time_and_run(params: &ExperimentParams) -> (f64, Vec<sdpcm_core::experiments::Fig11Row>) {
+    let started = std::time::Instant::now();
+    let rows = fig11(params);
+    (started.elapsed().as_secs_f64(), rows)
+}
+
+/// Runs `f` with the sweep worker count pinned via the
+/// [`sweep::WORKERS_ENV`] environment variable, restoring it afterwards.
+fn with_workers<T>(workers: usize, f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var(sweep::WORKERS_ENV).ok();
+    std::env::set_var(sweep::WORKERS_ENV, workers.to_string());
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var(sweep::WORKERS_ENV, v),
+        None => std::env::remove_var(sweep::WORKERS_ENV),
+    }
+    out
+}
+
+/// Serializes the results as the `BENCH_sweep.json` document
+/// (`schema_version` 1).
+#[must_use]
+pub fn to_json(r: &PerfResults) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"mode\": {},", json_str(&r.mode));
+    let _ = writeln!(s, "  \"host_cores\": {},", r.host_cores);
+    let _ = writeln!(s, "  \"seed\": {},", r.seed);
+    let _ = writeln!(s, "  \"refs_per_core\": {},", r.refs_per_core);
+    s.push_str("  \"single_cell\": [\n");
+    for (i, c) in r.single_cells.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"scheme\": {}, \"bench\": {}, \"samples\": {}, \"mean_secs\": {}, \
+             \"cycles_per_sec\": {}, \"writes_per_sec\": {}}}{}",
+            json_str(&c.scheme),
+            json_str(&c.bench),
+            c.samples,
+            json_num(c.mean_secs),
+            json_num(c.cycles_per_sec),
+            json_num(c.writes_per_sec),
+            comma(i, r.single_cells.len()),
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"figures\": [\n");
+    for (i, f) in r.figures.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"figure\": {}, \"cells\": {}, \"sequential_secs\": {}, \
+             \"parallel_secs\": {}, \"workers\": {}, \"speedup\": {}, \"identical\": {}}}{}",
+            json_str(&f.figure),
+            f.cells,
+            json_num(f.sequential_secs),
+            json_num(f.parallel_secs),
+            f.workers,
+            json_num(f.sequential_secs / f.parallel_secs.max(1e-12)),
+            f.identical,
+            comma(i, r.figures.len()),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number (JSON has no NaN/Infinity; clamp to 0).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfResults {
+        PerfResults {
+            mode: "smoke".to_owned(),
+            host_cores: 4,
+            seed: 42,
+            refs_per_core: 300,
+            single_cells: vec![SingleCell {
+                scheme: "baseline".to_owned(),
+                bench: "mcf".to_owned(),
+                samples: 2,
+                mean_secs: 0.5,
+                cycles_per_sec: 1e6,
+                writes_per_sec: 2e3,
+            }],
+            figures: vec![FigureTiming {
+                figure: "fig11".to_owned(),
+                cells: 63,
+                sequential_secs: 10.0,
+                parallel_secs: 4.0,
+                workers: 4,
+                identical: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_metrics() {
+        let j = to_json(&sample());
+        for needle in [
+            "\"schema_version\": 1",
+            "\"mode\": \"smoke\"",
+            "\"host_cores\": 4",
+            "\"cycles_per_sec\": 1000000",
+            "\"figure\": \"fig11\"",
+            "\"speedup\": 2.5",
+            "\"identical\": true",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let j = to_json(&sample());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn with_workers_restores_env() {
+        std::env::remove_var(sweep::WORKERS_ENV);
+        let inside = with_workers(3, || std::env::var(sweep::WORKERS_ENV).unwrap());
+        assert_eq!(inside, "3");
+        assert!(std::env::var(sweep::WORKERS_ENV).is_err());
+    }
+}

@@ -3,6 +3,13 @@
 //! Each function performs the sweep the corresponding figure reports and
 //! returns plain rows; the bench harness (`crates/bench`) formats them.
 //! All runners are deterministic in `ExperimentParams::seed`.
+//!
+//! The sweeps execute on the parallel executor in [`crate::sweep`]: each
+//! runner flattens its `(scheme, benchmark, knob)` cross-product into an
+//! explicit cell list, fans the cells over the worker pool, and
+//! assembles rows from the in-order results — so the output is
+//! bit-identical to the sequential loops the runners replaced (every
+//! cell's RNG derives only from its own parameters).
 
 use sdpcm_engine::stats::geometric_mean;
 use sdpcm_osalloc::NmRatio;
@@ -13,6 +20,7 @@ use sdpcm_wd::thermal::Direction;
 
 use crate::config::{ExperimentParams, Scheme};
 use crate::metrics::RunStats;
+use crate::sweep::{default_workers, parallel_map};
 use crate::system::SystemSim;
 
 /// Runs one (scheme, benchmark) cell.
@@ -24,10 +32,21 @@ use crate::system::SystemSim;
 /// worth stopping the whole sweep for. Use [`SystemSim`] directly to
 /// handle [`crate::SdpcmError`] yourself.
 #[must_use]
-pub fn run_cell(scheme: Scheme, bench: BenchKind, params: &ExperimentParams) -> RunStats {
+pub fn run_cell(scheme: &Scheme, bench: BenchKind, params: &ExperimentParams) -> RunStats {
     SystemSim::build(scheme, bench, params)
         .and_then(|mut sim| sim.run())
         .expect("figure runners use known-good configurations")
+}
+
+/// One flattened sweep cell: a borrowed scheme, a benchmark, and the
+/// (possibly knob-adjusted) parameters it runs under.
+type Cell<'a> = (&'a Scheme, BenchKind, ExperimentParams);
+
+/// Runs a flat cell list on the worker pool, results in input order.
+fn run_cells(cells: &[Cell<'_>]) -> Vec<RunStats> {
+    parallel_map(cells, default_workers(), |(scheme, bench, params)| {
+        run_cell(scheme, *bench, params)
+    })
 }
 
 /// Table 1: disturbance probability for 4F² cells.
@@ -82,21 +101,24 @@ pub struct Fig4Row {
 /// DIN) and reading the injection histograms.
 #[must_use]
 pub fn fig4(params: &ExperimentParams) -> Vec<Fig4Row> {
-    BenchKind::all()
+    let baseline = Scheme::baseline();
+    let cells: Vec<Cell<'_>> = BenchKind::all()
         .into_iter()
-        .map(|b| {
-            let stats = run_cell(Scheme::baseline(), b, params);
-            Fig4Row {
-                bench: b.name().to_owned(),
-                wl_avg: stats.ctrl.wl_errors.mean(),
-                wl_max: stats.ctrl.wl_errors.max_observed().unwrap_or(0),
-                bl_avg: stats.ctrl.bl_errors_per_neighbor.mean(),
-                bl_max: stats
-                    .ctrl
-                    .bl_errors_per_neighbor
-                    .max_observed()
-                    .unwrap_or(0),
-            }
+        .map(|b| (&baseline, b, *params))
+        .collect();
+    run_cells(&cells)
+        .into_iter()
+        .zip(BenchKind::all())
+        .map(|(stats, b)| Fig4Row {
+            bench: b.name().to_owned(),
+            wl_avg: stats.ctrl.wl_errors.mean(),
+            wl_max: stats.ctrl.wl_errors.max_observed().unwrap_or(0),
+            bl_avg: stats.ctrl.bl_errors_per_neighbor.mean(),
+            bl_max: stats
+                .ctrl
+                .bl_errors_per_neighbor
+                .max_observed()
+                .unwrap_or(0),
         })
         .collect()
 }
@@ -120,11 +142,19 @@ pub struct Fig5Row {
 /// busy-cycle accounting.
 #[must_use]
 pub fn fig5(params: &ExperimentParams) -> Vec<Fig5Row> {
+    let din_scheme = Scheme::din();
+    let baseline = Scheme::baseline();
+    let mut cells: Vec<Cell<'_>> = Vec::new();
+    for b in BenchKind::all() {
+        cells.push((&din_scheme, b, *params));
+        cells.push((&baseline, b, *params));
+    }
+    let stats = run_cells(&cells);
     BenchKind::all()
         .into_iter()
-        .map(|b| {
-            let din = run_cell(Scheme::din(), b, params);
-            let vnc = run_cell(Scheme::baseline(), b, params);
+        .zip(stats.chunks_exact(2))
+        .map(|(b, pair)| {
+            let (din, vnc) = (&pair[0], &pair[1]);
             let total = (vnc.cpi() / din.cpi() - 1.0).max(0.0);
             let v = vnc.ctrl.phases.verification_total().0 as f64;
             let c = (vnc.ctrl.phases.correction_total() + vnc.ctrl.phases.own_fixes).0 as f64;
@@ -152,16 +182,34 @@ pub struct Fig11Row {
 #[must_use]
 pub fn fig11(params: &ExperimentParams) -> Vec<Fig11Row> {
     let schemes = Scheme::figure11_set();
+    let baseline = Scheme::baseline();
+    // Per bench: the normalization run, then every non-baseline scheme
+    // (the baseline's own speedup is 1.0 by definition, not simulated).
+    let mut cells: Vec<Cell<'_>> = Vec::new();
+    for b in BenchKind::all() {
+        cells.push((&baseline, b, *params));
+        for s in schemes.iter().filter(|s| s.name != "baseline") {
+            cells.push((s, b, *params));
+        }
+    }
+    let stats = run_cells(&cells);
+    let stride = 1 + schemes.iter().filter(|s| s.name != "baseline").count();
+
     let mut rows: Vec<Fig11Row> = Vec::new();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for b in BenchKind::all() {
-        let base = run_cell(Scheme::baseline(), b, params);
+    for (bi, b) in BenchKind::all().into_iter().enumerate() {
+        let chunk = &stats[bi * stride..(bi + 1) * stride];
+        let base = &chunk[0];
+        let mut measured = chunk[1..].iter();
         let mut speedups = Vec::new();
         for (i, s) in schemes.iter().enumerate() {
             let speedup = if s.name == "baseline" {
                 1.0
             } else {
-                run_cell(s.clone(), b, params).speedup_vs(&base)
+                measured
+                    .next()
+                    .expect("one cell per non-baseline scheme")
+                    .speedup_vs(base)
             };
             per_scheme[i].push(speedup);
             speedups.push((s.name.clone(), speedup));
@@ -199,36 +247,38 @@ pub struct EcpSweepRow {
 #[must_use]
 pub fn fig12_13(params: &ExperimentParams, entries: &[usize]) -> Vec<EcpSweepRow> {
     let benches = BenchKind::all();
-    // Baselines at ECP-0 per bench.
-    let base: Vec<RunStats> = benches
+    let baseline = Scheme::baseline();
+    let lazyc = Scheme::lazyc();
+    // Cells: the ECP-0 normalization runs per bench, then one cell per
+    // (entries, bench) pair.
+    let mut cells: Vec<Cell<'_>> = benches
         .iter()
         .map(|&b| {
             let p = ExperimentParams {
                 ecp_entries: 0,
                 ..*params
             };
-            run_cell(Scheme::baseline(), b, &p)
+            (&baseline, b, p)
         })
         .collect();
+    for &n in entries {
+        for &b in &benches {
+            let p = ExperimentParams {
+                ecp_entries: n,
+                ..*params
+            };
+            let scheme = if n == 0 { &baseline } else { &lazyc };
+            cells.push((scheme, b, p));
+        }
+    }
+    let stats = run_cells(&cells);
+    let (base, swept) = stats.split_at(benches.len());
     entries
         .iter()
-        .map(|&n| {
-            let mut corr = Vec::new();
-            let mut speedups = Vec::new();
-            for (i, &b) in benches.iter().enumerate() {
-                let p = ExperimentParams {
-                    ecp_entries: n,
-                    ..*params
-                };
-                let scheme = if n == 0 {
-                    Scheme::baseline()
-                } else {
-                    Scheme::lazyc()
-                };
-                let r = run_cell(scheme, b, &p);
-                corr.push(r.ctrl.corrections_per_write());
-                speedups.push(r.speedup_vs(&base[i]));
-            }
+        .zip(swept.chunks_exact(benches.len()))
+        .map(|(&n, row)| {
+            let corr: Vec<f64> = row.iter().map(|r| r.ctrl.corrections_per_write()).collect();
+            let speedups: Vec<f64> = row.iter().zip(base).map(|(r, b)| r.speedup_vs(b)).collect();
             EcpSweepRow {
                 entries: n,
                 corrections_per_write: corr.iter().sum::<f64>() / corr.len() as f64,
@@ -251,21 +301,27 @@ pub struct Fig14Row {
 #[must_use]
 pub fn fig14(params: &ExperimentParams, ages: &[f64]) -> Vec<Fig14Row> {
     let benches = BenchKind::all();
-    let fresh: Vec<RunStats> = benches
-        .iter()
-        .map(|&b| run_cell(Scheme::lazyc(), b, params))
-        .collect();
+    let lazyc = Scheme::lazyc();
+    let mut cells: Vec<Cell<'_>> = benches.iter().map(|&b| (&lazyc, b, *params)).collect();
+    for &age in ages {
+        for &b in &benches {
+            let p = ExperimentParams {
+                dimm_age: Some(age),
+                ..*params
+            };
+            cells.push((&lazyc, b, p));
+        }
+    }
+    let stats = run_cells(&cells);
+    let (fresh, aged) = stats.split_at(benches.len());
     ages.iter()
-        .map(|&age| {
-            let mut speedups = Vec::new();
-            for (i, &b) in benches.iter().enumerate() {
-                let p = ExperimentParams {
-                    dimm_age: Some(age),
-                    ..*params
-                };
-                let r = run_cell(Scheme::lazyc(), b, &p);
-                speedups.push(r.speedup_vs(&fresh[i]));
-            }
+        .zip(aged.chunks_exact(benches.len()))
+        .map(|(&age, row)| {
+            let speedups: Vec<f64> = row
+                .iter()
+                .zip(fresh)
+                .map(|(r, f)| r.speedup_vs(f))
+                .collect();
             Fig14Row {
                 age,
                 speedup_vs_fresh: geometric_mean(&speedups),
@@ -287,22 +343,25 @@ pub struct Fig15Row {
 #[must_use]
 pub fn fig15(params: &ExperimentParams, sizes: &[usize]) -> Vec<Fig15Row> {
     let benches = BenchKind::all();
-    let din: Vec<RunStats> = benches
-        .iter()
-        .map(|&b| run_cell(Scheme::din(), b, params))
-        .collect();
+    let din_scheme = Scheme::din();
+    let lazyc_preread = Scheme::lazyc_preread();
+    let mut cells: Vec<Cell<'_>> = benches.iter().map(|&b| (&din_scheme, b, *params)).collect();
+    for &q in sizes {
+        for &b in &benches {
+            let p = ExperimentParams {
+                write_queue_cap: q,
+                ..*params
+            };
+            cells.push((&lazyc_preread, b, p));
+        }
+    }
+    let stats = run_cells(&cells);
+    let (din, swept) = stats.split_at(benches.len());
     sizes
         .iter()
-        .map(|&q| {
-            let mut speedups = Vec::new();
-            for (i, &b) in benches.iter().enumerate() {
-                let p = ExperimentParams {
-                    write_queue_cap: q,
-                    ..*params
-                };
-                let r = run_cell(Scheme::lazyc_preread(), b, &p);
-                speedups.push(r.speedup_vs(&din[i]));
-            }
+        .zip(swept.chunks_exact(benches.len()))
+        .map(|(&q, row)| {
+            let speedups: Vec<f64> = row.iter().zip(din).map(|(r, d)| r.speedup_vs(d)).collect();
             Fig15Row {
                 queue_size: q,
                 speedup_vs_din: geometric_mean(&speedups),
@@ -326,18 +385,24 @@ pub struct Fig16Row {
 #[must_use]
 pub fn fig16(params: &ExperimentParams, ratios: &[NmRatio]) -> Vec<Fig16Row> {
     let benches = BenchKind::all();
-    let din: Vec<RunStats> = benches
+    let din_scheme = Scheme::din();
+    let ratio_schemes: Vec<Scheme> = ratios
         .iter()
-        .map(|&b| run_cell(Scheme::din(), b, params))
+        .map(|&r| Scheme::baseline_with_ratio(r))
         .collect();
+    let mut cells: Vec<Cell<'_>> = benches.iter().map(|&b| (&din_scheme, b, *params)).collect();
+    for s in &ratio_schemes {
+        for &b in &benches {
+            cells.push((s, b, *params));
+        }
+    }
+    let stats = run_cells(&cells);
+    let (din, swept) = stats.split_at(benches.len());
     ratios
         .iter()
-        .map(|&ratio| {
-            let mut speedups = Vec::new();
-            for (i, &b) in benches.iter().enumerate() {
-                let r = run_cell(Scheme::baseline_with_ratio(ratio), b, params);
-                speedups.push(r.speedup_vs(&din[i]));
-            }
+        .zip(swept.chunks_exact(benches.len()))
+        .map(|(&ratio, row)| {
+            let speedups: Vec<f64> = row.iter().zip(din).map(|(r, d)| r.speedup_vs(d)).collect();
             Fig16Row {
                 ratio,
                 speedup_vs_din: geometric_mean(&speedups),
@@ -362,15 +427,18 @@ pub struct LifetimeRow {
 /// (LazyC, which routes WD errors through the ECP chip).
 #[must_use]
 pub fn fig17_18(params: &ExperimentParams) -> Vec<LifetimeRow> {
-    BenchKind::all()
+    let lazyc = Scheme::lazyc();
+    let cells: Vec<Cell<'_>> = BenchKind::all()
         .into_iter()
-        .map(|b| {
-            let r = run_cell(Scheme::lazyc(), b, params);
-            LifetimeRow {
-                bench: b.name().to_owned(),
-                data_lifetime: r.wear.data_lifetime_norm(),
-                ecp_lifetime: r.wear.ecp_lifetime_norm(),
-            }
+        .map(|b| (&lazyc, b, *params))
+        .collect();
+    run_cells(&cells)
+        .into_iter()
+        .zip(BenchKind::all())
+        .map(|(r, b)| LifetimeRow {
+            bench: b.name().to_owned(),
+            data_lifetime: r.wear.data_lifetime_norm(),
+            ecp_lifetime: r.wear.ecp_lifetime_norm(),
         })
         .collect()
 }
@@ -391,23 +459,33 @@ pub struct Fig19Row {
 /// Reproduces Figure 19.
 #[must_use]
 pub fn fig19(params: &ExperimentParams) -> Vec<Fig19Row> {
+    let baseline = Scheme::baseline();
+    let lazyc = Scheme::lazyc();
+    let wc_scheme = Scheme {
+        name: "WC".into(),
+        ctrl: Scheme::baseline().ctrl.with_write_cancellation(),
+        ratio: NmRatio::one_one(),
+    };
+    let wc_lazy_scheme = Scheme {
+        name: "WC+LazyC".into(),
+        ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
+        ratio: NmRatio::one_one(),
+    };
+    let mut cells: Vec<Cell<'_>> = Vec::new();
+    for b in BenchKind::all() {
+        for s in [&baseline, &wc_scheme, &lazyc, &wc_lazy_scheme] {
+            cells.push((s, b, *params));
+        }
+    }
+    let stats = run_cells(&cells);
+
     let mut rows = Vec::new();
     let mut acc = [Vec::new(), Vec::new(), Vec::new()];
-    for b in BenchKind::all() {
-        let base = run_cell(Scheme::baseline(), b, params);
-        let wc_scheme = Scheme {
-            name: "WC".into(),
-            ctrl: Scheme::baseline().ctrl.with_write_cancellation(),
-            ratio: NmRatio::one_one(),
-        };
-        let wc_lazy_scheme = Scheme {
-            name: "WC+LazyC".into(),
-            ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
-            ratio: NmRatio::one_one(),
-        };
-        let wc = run_cell(wc_scheme, b, params).speedup_vs(&base);
-        let lazyc = run_cell(Scheme::lazyc(), b, params).speedup_vs(&base);
-        let wc_lazyc = run_cell(wc_lazy_scheme, b, params).speedup_vs(&base);
+    for (b, chunk) in BenchKind::all().into_iter().zip(stats.chunks_exact(4)) {
+        let base = &chunk[0];
+        let wc = chunk[1].speedup_vs(base);
+        let lazyc = chunk[2].speedup_vs(base);
+        let wc_lazyc = chunk[3].speedup_vs(base);
         acc[0].push(wc);
         acc[1].push(lazyc);
         acc[2].push(wc_lazyc);
@@ -451,7 +529,7 @@ mod tests {
     #[test]
     fn fig4_single_bench_shape() {
         // Run just one benchmark's cell to keep the test fast.
-        let stats = run_cell(Scheme::baseline(), BenchKind::Mcf, &tiny());
+        let stats = run_cell(&Scheme::baseline(), BenchKind::Mcf, &tiny());
         let bl_avg = stats.ctrl.bl_errors_per_neighbor.mean();
         let wl_avg = stats.ctrl.wl_errors.mean();
         // Bit-line errors dominate word-line errors (the paper's point).
@@ -482,14 +560,14 @@ mod tests {
         // Smoke: WC+LazyC speedup exists and is >= LazyC on a read-heavy
         // benchmark where cancellation pays off.
         let params = tiny();
-        let base = run_cell(Scheme::baseline(), BenchKind::Bwaves, &params);
-        let lazyc = run_cell(Scheme::lazyc(), BenchKind::Bwaves, &params).speedup_vs(&base);
+        let base = run_cell(&Scheme::baseline(), BenchKind::Bwaves, &params);
+        let lazyc = run_cell(&Scheme::lazyc(), BenchKind::Bwaves, &params).speedup_vs(&base);
         let wc_lazy_scheme = Scheme {
             name: "WC+LazyC".into(),
             ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
             ratio: NmRatio::one_one(),
         };
-        let wc_lazyc = run_cell(wc_lazy_scheme, BenchKind::Bwaves, &params).speedup_vs(&base);
+        let wc_lazyc = run_cell(&wc_lazy_scheme, BenchKind::Bwaves, &params).speedup_vs(&base);
         assert!(lazyc > 0.5 && wc_lazyc > 0.5);
     }
 }

@@ -19,6 +19,9 @@
 //!   plain rows that the bench harness formats.
 //! * [`hiersim`] — the alternative full-hierarchy front end: cores →
 //!   L1/L2/L3 → controller, for cache-sensitivity studies.
+//! * [`sweep`] — the parallel sweep executor: independent figure cells
+//!   fan out over a scoped thread pool with outputs reassembled in
+//!   input order, bit-identical to a sequential run.
 //! * [`error`] — the typed [`error::SdpcmError`] hierarchy every
 //!   simulator entry point reports instead of panicking.
 //! * [`fault`] — [`fault::FaultPlan`]: deterministic chaos scenarios
@@ -31,7 +34,7 @@
 //! use sdpcm_trace::BenchKind;
 //!
 //! let params = ExperimentParams::quick_test();
-//! let mut sim = SystemSim::build(Scheme::din(), BenchKind::Stream, &params).unwrap();
+//! let mut sim = SystemSim::build(&Scheme::din(), BenchKind::Stream, &params).unwrap();
 //! let stats = sim.run().unwrap();
 //! assert!(stats.total_cycles > 0);
 //! assert!(stats.reads > 0);
@@ -43,6 +46,7 @@ pub mod experiments;
 pub mod fault;
 pub mod hiersim;
 pub mod metrics;
+pub mod sweep;
 pub mod system;
 
 pub use config::{ExperimentParams, Scheme};

@@ -11,8 +11,7 @@
 //! and the page table carries the allocator tag that the TLB forwards to
 //! the memory controller with every request (Figure 9).
 
-use std::collections::HashMap;
-
+use sdpcm_engine::hash::FxHashMap;
 use sdpcm_engine::{Cycle, SimRng};
 use sdpcm_memctrl::{Access, AccessKind, CtrlConfig, MemoryController, ReqId};
 use sdpcm_osalloc::{NmAllocator, PageTable, Tlb};
@@ -46,7 +45,7 @@ pub struct SystemSim {
     tables: Vec<PageTable>,
     tlbs: Vec<Tlb>,
     payload_rng: SimRng,
-    inflight: HashMap<ReqId, usize>,
+    inflight: FxHashMap<ReqId, usize>,
     next_id: u64,
     reads_issued: u64,
     writes_issued: u64,
@@ -63,8 +62,10 @@ impl std::fmt::Debug for SystemSim {
 
 impl SystemSim {
     /// Builds the system for eight copies of `bench` under `scheme`.
+    /// The scheme is borrowed (sweeps reuse one instance across many
+    /// cells) and cloned once into the simulator.
     pub fn build(
-        scheme: Scheme,
+        scheme: &Scheme,
         bench: BenchKind,
         params: &ExperimentParams,
     ) -> Result<SystemSim, SdpcmError> {
@@ -76,7 +77,7 @@ impl SystemSim {
     /// workload does not fit the device under the scheme's allocation
     /// ratio.
     pub fn build_workload(
-        scheme: Scheme,
+        scheme: &Scheme,
         workload: &Workload,
         params: &ExperimentParams,
     ) -> Result<SystemSim, SdpcmError> {
@@ -127,7 +128,7 @@ impl SystemSim {
             .collect();
 
         Ok(SystemSim {
-            scheme,
+            scheme: scheme.clone(),
             workload_name: workload.name().to_owned(),
             params: *params,
             ctrl,
@@ -135,7 +136,7 @@ impl SystemSim {
             tables,
             tlbs,
             payload_rng: rng.derive("payloads"),
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             next_id: 0,
             reads_issued: 0,
             writes_issued: 0,
@@ -374,7 +375,7 @@ mod tests {
             refs_per_core: 400,
             ..ExperimentParams::quick_test()
         };
-        SystemSim::build(scheme, bench, &params)
+        SystemSim::build(&scheme, bench, &params)
             .unwrap()
             .run()
             .unwrap()
@@ -418,11 +419,11 @@ mod tests {
             refs_per_core: 2_000,
             ..ExperimentParams::quick_test()
         };
-        let din = SystemSim::build(Scheme::din(), BenchKind::Lbm, &params)
+        let din = SystemSim::build(&Scheme::din(), BenchKind::Lbm, &params)
             .unwrap()
             .run()
             .unwrap();
-        let alloc12 = SystemSim::build(Scheme::one_two_alloc(), BenchKind::Lbm, &params)
+        let alloc12 = SystemSim::build(&Scheme::one_two_alloc(), BenchKind::Lbm, &params)
             .unwrap()
             .run()
             .unwrap();
@@ -449,7 +450,7 @@ mod tests {
             refs_per_core: 400,
             ..ExperimentParams::quick_test()
         };
-        let a = SystemSim::build(Scheme::baseline(), BenchKind::Lbm, &params)
+        let a = SystemSim::build(&Scheme::baseline(), BenchKind::Lbm, &params)
             .unwrap()
             .run()
             .unwrap();
@@ -457,7 +458,7 @@ mod tests {
             seed: 1234,
             ..params
         };
-        let b = SystemSim::build(Scheme::baseline(), BenchKind::Lbm, &params_b)
+        let b = SystemSim::build(&Scheme::baseline(), BenchKind::Lbm, &params_b)
             .unwrap()
             .run()
             .unwrap();

@@ -30,12 +30,64 @@ impl Bencher {
         self.total_nanos = start.elapsed().as_nanos();
     }
 
+    /// Mean wall-clock nanoseconds per iteration of the last
+    /// [`Bencher::iter`] call.
+    #[must_use]
+    pub fn mean_nanos(&self) -> u128 {
+        self.total_nanos / u128::from(self.samples.max(1))
+    }
+
     fn report(&self, name: &str) {
-        let mean = self.total_nanos / u128::from(self.samples.max(1));
         println!(
-            "bench {name:<40} {mean:>12} ns/iter ({} samples)",
+            "bench {name:<40} {:>12} ns/iter ({} samples)",
+            self.mean_nanos(),
             self.samples
         );
+    }
+}
+
+/// A programmatic timing result, for harnesses that record measurements
+/// (e.g. into a JSON perf log) instead of printing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Timed iterations.
+    pub samples: u64,
+    /// Total wall-clock nanoseconds across all iterations.
+    pub total_nanos: u128,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    #[must_use]
+    pub fn mean_nanos(&self) -> u128 {
+        self.total_nanos / u128::from(self.samples.max(1))
+    }
+
+    /// Mean seconds per iteration.
+    #[must_use]
+    pub fn mean_secs(&self) -> f64 {
+        self.mean_nanos() as f64 / 1e9
+    }
+
+    /// Total seconds across all iterations.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.total_nanos as f64 / 1e9
+    }
+}
+
+/// Times `routine` over `samples` iterations and returns the
+/// [`Measurement`] — the programmatic counterpart of
+/// [`Criterion::bench_function`], sharing its [`Bencher`] timing loop.
+pub fn time_function<T, F: FnMut() -> T>(samples: u64, routine: F) -> Measurement {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        total_nanos: 0,
+    };
+    b.iter(routine);
+    Measurement {
+        samples: b.samples,
+        total_nanos: b.total_nanos,
     }
 }
 
@@ -142,6 +194,16 @@ mod tests {
         let mut c = Criterion::default();
         c.bench_function("counting", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn time_function_counts_and_measures() {
+        let mut calls = 0u64;
+        let m = time_function(7, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(m.samples, 7);
+        assert_eq!(m.mean_nanos(), m.total_nanos / 7);
+        assert!(m.total_secs() >= 0.0);
     }
 
     #[test]

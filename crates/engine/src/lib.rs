@@ -14,6 +14,8 @@
 //!   the draws seen by existing components.
 //! * [`stats`] — counters, running statistics and histograms used to build
 //!   every table and figure of the evaluation.
+//! * [`hash`] — a deterministic FxHash-style hasher for the simulator's
+//!   hot-path maps (the DoS-resistant std default is wasted cost here).
 //!
 //! # Examples
 //!
@@ -29,12 +31,14 @@
 
 pub mod clock;
 pub mod events;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use clock::Cycle;
 pub use events::EventQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, QuantileSketch, RunningStat};
 pub use table::TextTable;

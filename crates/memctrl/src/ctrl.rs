@@ -24,8 +24,9 @@
 //! shared channel bus (≈8 cycles per 64 B burst) is not modelled — it is
 //! two orders of magnitude below the array latencies that dominate.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
+use sdpcm_engine::hash::{FxHashMap, FxHashSet};
 use sdpcm_engine::{Cycle, SimRng};
 use sdpcm_osalloc::{NmRatio, VerifyPolicy};
 use sdpcm_pcm::ecp::EcpKind;
@@ -153,22 +154,22 @@ pub struct MemoryController {
     policy: VerifyPolicy,
     injector: WdInjector,
     codec: Option<DinCodec>,
-    flags: HashMap<LineAddr, DinFlags>,
+    flags: FxHashMap<LineAddr, DinFlags>,
     banks: Vec<Bank>,
     stats: CtrlStats,
     completions: Vec<Completion>,
     hard_plan: Option<(HardErrorModel, f64)>,
-    planted: HashSet<LineAddr>,
+    planted: FxHashSet<LineAddr>,
     energy: EnergyMeter,
     start_gap: Option<Vec<StartGap>>,
     next_internal_id: u64,
     /// Decommissioned lines and their architectural contents, served
     /// from controller buffers at `forward_latency`.
-    salvaged: HashMap<LineAddr, LineBuf>,
+    salvaged: FxHashMap<LineAddr, LineBuf>,
     /// LazyCorrection exhaustion events per line (degradation ladder).
-    distress: HashMap<LineAddr, u32>,
+    distress: FxHashMap<LineAddr, u32>,
     /// Lines past the retry cap: ECP buffering is no longer attempted.
-    escalated: HashSet<LineAddr>,
+    escalated: FxHashSet<LineAddr>,
     chaos: Option<ChaosEngine>,
     fault_log: Vec<FaultEvent>,
     /// Recently committed write targets — the victim pool for chaos
@@ -178,6 +179,13 @@ pub struct MemoryController {
     /// next `submit`/`advance`.
     pending_anomaly: Option<&'static str>,
     rng: SimRng,
+    /// Scratch: due-bank indices collected per `process_until` round.
+    due_scratch: Vec<usize>,
+    /// Scratch: word-line victims of the most recent injection.
+    wl_scratch: Vec<u16>,
+    /// Scratch: per-side bit-line victims of the most recent
+    /// [`MemoryController::inject_for`] call — valid until the next one.
+    bl_hits: [Vec<u16>; 2],
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -230,12 +238,12 @@ impl MemoryController {
             policy: VerifyPolicy::new(geometry.strips()),
             injector,
             codec,
-            flags: HashMap::new(),
+            flags: FxHashMap::default(),
             banks: (0..geometry.banks()).map(|_| Bank::default()).collect(),
             stats: CtrlStats::new(),
             completions: Vec::new(),
             hard_plan: None,
-            planted: HashSet::new(),
+            planted: FxHashSet::default(),
             energy: EnergyMeter::new(EnergyParams::default()),
             start_gap: cfg.scheme.start_gap_psi.map(|psi| {
                 // One region per bank over all lines but the spare slot:
@@ -248,14 +256,17 @@ impl MemoryController {
                     .collect()
             }),
             next_internal_id: u64::MAX,
-            salvaged: HashMap::new(),
-            distress: HashMap::new(),
-            escalated: HashSet::new(),
+            salvaged: FxHashMap::default(),
+            distress: FxHashMap::default(),
+            escalated: FxHashSet::default(),
             chaos: None,
             fault_log: Vec::new(),
             recent_writes: VecDeque::new(),
             pending_anomaly: None,
             rng,
+            due_scratch: Vec::new(),
+            wl_scratch: Vec::new(),
+            bl_hits: [Vec::new(), Vec::new()],
         })
     }
 
@@ -639,24 +650,33 @@ impl MemoryController {
     }
 
     /// Completes every bank operation due by `now` and re-dispatches.
+    ///
+    /// Each round collects the due banks *before* processing any of them
+    /// (into a reusable scratch vector): completing a bank can make
+    /// another due, and folding that discovery into the same round would
+    /// change the cross-bank processing order — and with it the shared
+    /// RNG draw order.
     fn process_until(&mut self, now: Cycle) {
+        let mut due = std::mem::take(&mut self.due_scratch);
         loop {
-            let due: Vec<usize> = self
-                .banks
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| b.op.is_some() && b.busy_until <= now)
-                .map(|(i, _)| i)
-                .collect();
+            due.clear();
+            due.extend(
+                self.banks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.op.is_some() && b.busy_until <= now)
+                    .map(|(i, _)| i),
+            );
             if due.is_empty() {
                 break;
             }
-            for i in due {
+            for &i in &due {
                 let at = self.banks[i].busy_until;
                 self.complete_op(i, at);
                 self.dispatch(i, at);
             }
         }
+        self.due_scratch = due;
     }
 
     // ----- submission -----
@@ -884,34 +904,28 @@ impl MemoryController {
     }
 
     fn try_issue_preread(&mut self, bank: usize, now: Cycle) -> bool {
-        // Oldest queued write with an outstanding, needed pre-read.
+        // Oldest queued write with an outstanding, needed pre-read. The
+        // scan only needs shared borrows, so the queue is walked in place
+        // rather than snapshotted.
         let mut target: Option<(LineAddr, Side)> = None;
-        let cap = self.cfg.write_queue_cap;
-        let candidates: Vec<(LineAddr, NmRatio, [bool; 2])> = self.banks[bank]
-            .write_q
-            .iter()
-            .take(cap)
-            .map(|e| (e.access.addr, e.access.ratio, e.pr_done))
-            .collect();
-        for (addr, ratio, pr_done) in candidates {
-            if !self.cfg.scheme.vnc {
-                break;
-            }
-            let strip = self.geometry.strip_of(addr);
-            let need = self.policy.need(ratio, strip);
-            let nb = self.geometry.bitline_neighbors(addr);
-            for side in Side::BOTH {
-                let needed = match side {
-                    Side::Up => need.up,
-                    Side::Down => need.down,
-                } && nb[side.idx()].is_some_and(|n| !self.salvaged.contains_key(&n));
-                if needed && !pr_done[side.idx()] {
-                    target = Some((addr, side));
-                    break;
+        if self.cfg.scheme.vnc {
+            let cap = self.cfg.write_queue_cap;
+            'scan: for e in self.banks[bank].write_q.iter().take(cap) {
+                let addr = e.access.addr;
+                let strip = self.geometry.strip_of(addr);
+                let need = self.policy.need(e.access.ratio, strip);
+                let nb = self.geometry.bitline_neighbors(addr);
+                for side in Side::BOTH {
+                    let needed = match side {
+                        Side::Up => need.up,
+                        Side::Down => need.down,
+                    } && nb[side.idx()]
+                        .is_some_and(|n| !self.salvaged.contains_key(&n));
+                    if needed && !e.pr_done[side.idx()] {
+                        target = Some((addr, side));
+                        break 'scan;
+                    }
                 }
-            }
-            if target.is_some() {
-                break;
             }
         }
         let Some((write_line, side)) = target else {
@@ -984,7 +998,7 @@ impl MemoryController {
             let neighbors = self.geometry.bitline_neighbors(addr);
             let would_disturb = neighbors.iter().flatten().any(|n| {
                 let raw = self.store.raw_line(*n);
-                !sdpcm_wd::pattern::bitline_vulnerable(diff, &raw).is_empty()
+                sdpcm_wd::pattern::bitline_any_vulnerable(diff, &raw)
             });
             if would_disturb {
                 return false;
@@ -994,20 +1008,27 @@ impl MemoryController {
         let neighbors = self.geometry.bitline_neighbors(addr);
         for n in neighbors.iter().flatten() {
             let raw = self.store.raw_line(*n);
-            let vulnerable = sdpcm_wd::pattern::bitline_vulnerable(diff, &raw).len();
-            if vulnerable > self.store.ecp(*n).free_slots() {
+            let vulnerable = sdpcm_wd::pattern::bitline_vulnerable_count(diff, &raw);
+            let free = self
+                .store
+                .ecp_ref(*n)
+                .map_or(self.store.ecp_entries(), |t| t.free_slots());
+            if vulnerable > free {
                 return false;
             }
         }
-        // Inject and buffer.
-        let mut own_wl = Vec::new();
-        let (_, bl) = self.inject_for(addr, diff, Some(&mut own_wl));
+        // Inject and buffer. The own-line word-line victims need no
+        // handling here (reads forward from the queued entry, and the
+        // retried write re-programs them), but the draws must happen to
+        // keep the RNG stream aligned with a non-cancelled write.
+        let _ = self.inject_for(addr, diff, None);
         for side in Side::BOTH {
             if let Some(n) = neighbors[side.idx()] {
-                let cells: Vec<(u16, bool)> = bl[side.idx()].iter().map(|&b| (b, false)).collect();
+                let cells = std::mem::take(&mut self.bl_hits[side.idx()]);
                 if !cells.is_empty() {
                     self.record_ecp(n, &cells);
                 }
+                self.bl_hits[side.idx()] = cells;
             }
         }
         true
@@ -1161,16 +1182,16 @@ impl MemoryController {
                     data: None,
                 });
                 // Disturbance injection.
-                let (wl, bl) = self.inject_for(addr, &diff, Some(&mut job.pending_wl));
+                let wl = self.inject_for(addr, &diff, Some(&mut job.pending_wl));
                 self.stats.wl_errors.record(wl as u64);
                 let neighbors = self.geometry.bitline_neighbors(addr);
                 for side in Side::BOTH {
                     if neighbors[side.idx()].is_some() {
                         self.stats
                             .bl_errors_per_neighbor
-                            .record(bl[side.idx()].len() as u64);
+                            .record(self.bl_hits[side.idx()].len() as u64);
                     }
-                    job.injected[side.idx()].extend(bl[side.idx()].iter().copied());
+                    job.injected[side.idx()].extend_from_slice(&self.bl_hits[side.idx()]);
                 }
                 self.note_committed_write(addr, at);
             }
@@ -1185,14 +1206,13 @@ impl MemoryController {
                 let cells = std::mem::take(&mut job.pending_wl);
                 let dur = t.correction_latency(cells.len() as u32);
                 self.stats.phases.own_fixes += dur;
-                let bits: Vec<usize> = cells.iter().map(|&b| b as usize).collect();
-                let fix = DiffMask::reset_only(&bits);
+                let fix = DiffMask::reset_only_cells(&cells);
                 self.energy.charge_write(0, fix.reset_count(), true);
                 self.store.apply_write(addr, &fix, WriteClass::WordlineFix);
                 // The fix's RESET pulses disturb again.
-                let (_, bl) = self.inject_for(addr, &fix, Some(&mut job.pending_wl));
+                let _ = self.inject_for(addr, &fix, Some(&mut job.pending_wl));
                 for side in Side::BOTH {
-                    job.injected[side.idx()].extend(bl[side.idx()].iter().copied());
+                    job.injected[side.idx()].extend_from_slice(&self.bl_hits[side.idx()]);
                 }
                 if !job.pending_wl.is_empty() {
                     job.steps.push_front(Step::OwnFix);
@@ -1225,8 +1245,7 @@ impl MemoryController {
                 self.stats.phases.corrections += dur;
                 self.stats.correction_ops.inc();
                 self.stats.corrected_cells.add(cells.len() as u64);
-                let bits: Vec<usize> = cells.iter().map(|&b| b as usize).collect();
-                let fix = DiffMask::reset_only(&bits);
+                let fix = DiffMask::reset_only_cells(&cells);
                 self.energy.charge_write(0, fix.reset_count(), true);
                 self.store.apply_write(line, &fix, WriteClass::Correction);
                 self.store.ecp_mut(line).clear_disturb();
@@ -1234,7 +1253,7 @@ impl MemoryController {
                 // line's own word-line cells and its bit-line neighbours:
                 // cascading verification (§3.2).
                 let mut own_wl = Vec::new();
-                let (_, bl) = self.inject_for(line, &fix, Some(&mut own_wl));
+                let _ = self.inject_for(line, &fix, Some(&mut own_wl));
                 if !own_wl.is_empty() {
                     job.add_cascade(line, own_wl);
                     if !job.has_cascade_step(line) {
@@ -1245,7 +1264,7 @@ impl MemoryController {
                 let need = self.policy.need(job.entry.access.ratio, strip);
                 let neighbors = self.geometry.bitline_neighbors(line);
                 for side in Side::BOTH {
-                    let victims = &bl[side.idx()];
+                    let victims = &self.bl_hits[side.idx()];
                     if victims.is_empty() {
                         continue;
                     }
@@ -1270,48 +1289,44 @@ impl MemoryController {
 
     /// Injects disturbances for a committed programming operation on
     /// `addr`: word-line victims inside the line (appended to `wl_out`
-    /// when given) and bit-line victims in both physical neighbours.
-    /// Returns `(wl_count, [up_victims, down_victims])`.
+    /// when given) and bit-line victims in both physical neighbours,
+    /// left in `self.bl_hits` until the next call. Returns the word-line
+    /// victim count. All buffers are controller-held scratch — the hot
+    /// path allocates nothing once their capacities have grown.
     fn inject_for(
         &mut self,
         addr: LineAddr,
         diff: &DiffMask,
         wl_out: Option<&mut Vec<u16>>,
-    ) -> (usize, [Vec<u16>; 2]) {
+    ) -> usize {
         let after = self.store.raw_line(addr);
-        let wl: Vec<u16> = self
-            .injector
-            .draw_wordline(&after, diff)
-            .into_iter()
-            .filter(|&bit| self.store.inject_disturb(addr, bit))
-            .collect();
+        let mut wl = std::mem::take(&mut self.wl_scratch);
+        self.injector.draw_wordline_into(&after, diff, &mut wl);
+        // Only cells that physically flipped count: stuck cells cannot
+        // crystallize, and the hardware's pre/post-read comparison would
+        // show no change for them either.
+        wl.retain(|&bit| self.store.inject_disturb(addr, bit));
         let wl_count = wl.len();
         if let Some(out) = wl_out {
-            out.extend(wl);
+            out.extend_from_slice(&wl);
         }
+        self.wl_scratch = wl;
         let neighbors = self.geometry.bitline_neighbors(addr);
-        let mut bl = [Vec::new(), Vec::new()];
         for side in Side::BOTH {
+            let mut victims = std::mem::take(&mut self.bl_hits[side.idx()]);
+            victims.clear();
             if let Some(n) = neighbors[side.idx()] {
-                if self.salvaged.contains_key(&n) {
-                    // Decommissioned lines are no longer programmed in the
-                    // array, so they can neither disturb nor be disturbed.
-                    continue;
+                // Decommissioned lines are no longer programmed in the
+                // array, so they can neither disturb nor be disturbed.
+                if !self.salvaged.contains_key(&n) {
+                    let raw = self.store.raw_line(n);
+                    self.injector.draw_bitline_into(diff, &raw, &mut victims);
+                    victims.retain(|&bit| self.store.inject_disturb(n, bit));
                 }
-                let raw = self.store.raw_line(n);
-                // Only cells that physically flipped count: stuck cells
-                // cannot crystallize, and the hardware's pre/post-read
-                // comparison would show no change for them either.
-                let victims: Vec<u16> = self
-                    .injector
-                    .draw_bitline(diff, &raw)
-                    .into_iter()
-                    .filter(|&bit| self.store.inject_disturb(n, bit))
-                    .collect();
-                bl[side.idx()] = victims;
             }
+            self.bl_hits[side.idx()] = victims;
         }
-        (wl_count, bl)
+        wl_count
     }
 
     /// LazyCorrection-or-correct decision after a verification read found
@@ -1342,7 +1357,10 @@ impl MemoryController {
         if new_errors.is_empty() {
             return;
         }
-        let ecp = self.store.ecp(line);
+        let free_slots = self
+            .store
+            .ecp_ref(line)
+            .map_or(self.store.ecp_entries(), |t| t.free_slots());
         if self.cfg.scheme.lazy_correction {
             if self.escalated.contains(&line) {
                 // Rung 2: buffering is abandoned for this line; count
@@ -1356,14 +1374,16 @@ impl MemoryController {
                     return;
                 }
                 self.stats.immediate_corrections.inc();
-            } else if new_errors.len() <= ecp.free_slots() {
-                let cells: Vec<(u16, bool)> = new_errors.iter().map(|&b| (b, false)).collect();
+            } else if new_errors.len() <= free_slots {
                 if self.cfg.scheme.ecp_write_inline {
-                    job.steps.push_front(Step::EcpWrite { line, cells });
+                    job.steps.push_front(Step::EcpWrite {
+                        line,
+                        cells: new_errors,
+                    });
                 } else {
                     // The record targets the separate ECP chip and overlaps
                     // with the bank's next data operation.
-                    self.record_ecp(line, &cells);
+                    self.record_ecp(line, &new_errors);
                 }
                 return;
             } else {
@@ -1381,7 +1401,17 @@ impl MemoryController {
             }
         }
         // Correct everything: the new errors plus any buffered ones.
-        let mut cells: Vec<u16> = ecp.disturbed_cells().iter().map(|&(b, _)| b).collect();
+        let mut cells: Vec<u16> = self
+            .store
+            .ecp_ref(line)
+            .map(|t| {
+                t.entries()
+                    .iter()
+                    .filter(|e| e.kind == EcpKind::Disturb)
+                    .map(|e| e.bit)
+                    .collect()
+            })
+            .unwrap_or_default();
         cells.extend(new_errors);
         cells.sort_unstable();
         cells.dedup();
@@ -1462,15 +1492,17 @@ impl MemoryController {
     }
 
     /// Records buffered-WD cells into a line's ECP table, charging the
-    /// ECP chip's wear (10 bits per record). A record that overflows
-    /// despite the earlier capacity check (a racing hard error can steal
-    /// the slot) degrades to a direct RESET fix of the cell.
-    fn record_ecp(&mut self, line: LineAddr, cells: &[(u16, bool)]) {
-        for &(bit, value) in cells {
+    /// ECP chip's wear (10 bits per record). The correct value of a
+    /// disturbed cell is always `0` — WD only crystallizes amorphous
+    /// cells. A record that overflows despite the earlier capacity check
+    /// (a racing hard error can steal the slot) degrades to a direct
+    /// RESET fix of the cell.
+    fn record_ecp(&mut self, line: LineAddr, cells: &[u16]) {
+        for &bit in cells {
             match self
                 .store
                 .ecp_mut(line)
-                .record(bit, value, EcpKind::Disturb)
+                .record(bit, false, EcpKind::Disturb)
             {
                 Ok(()) => {
                     self.store.wear_mut().charge_ecp_record();
@@ -1478,7 +1510,7 @@ impl MemoryController {
                 }
                 Err(_) => {
                     self.stats.ecp_overflow_fixes.inc();
-                    let fix = DiffMask::reset_only(&[bit as usize]);
+                    let fix = DiffMask::reset_only_cells(&[bit]);
                     self.store.apply_write(line, &fix, WriteClass::Correction);
                 }
             }
@@ -1496,32 +1528,30 @@ impl MemoryController {
             return true;
         }
         let neighbors = self.geometry.bitline_neighbors(job.entry.access.addr);
-        let mut hazards: Vec<LineAddr> = Vec::new();
-        for side in Side::BOTH {
-            if !job.injected[side.idx()].is_empty() {
-                if let Some(n) = neighbors[side.idx()] {
-                    hazards.push(n);
+        // Hazard predicate evaluated per queued read — avoids
+        // materializing the hazard list on every pause check.
+        let is_hazard = |addr: LineAddr| -> bool {
+            for side in Side::BOTH {
+                if !job.injected[side.idx()].is_empty() && neighbors[side.idx()] == Some(addr) {
+                    return true;
                 }
             }
-        }
-        hazards.extend(job.cascade_pending.iter().map(|(l, _)| *l));
-        // Lines awaiting a queued correction / ECP record / cascade
-        // verify are also physically dirty until their step runs.
-        for step in &job.steps {
-            match step {
-                Step::Correction { line, .. }
-                | Step::EcpWrite { line, .. }
-                | Step::CascadeVerify(line) => hazards.push(*line),
-                _ => {}
+            if job.cascade_pending.iter().any(|(l, _)| *l == addr) {
+                return true;
             }
-        }
-        if !job.pending_wl.is_empty() {
-            hazards.push(job.entry.access.addr);
-        }
-        self.banks[bank]
-            .read_q
-            .iter()
-            .all(|r| !hazards.contains(&r.addr))
+            // Lines awaiting a queued correction / ECP record / cascade
+            // verify are also physically dirty until their step runs.
+            if job.steps.iter().any(|s| {
+                matches!(s,
+                    Step::Correction { line, .. }
+                    | Step::EcpWrite { line, .. }
+                    | Step::CascadeVerify(line) if *line == addr)
+            }) {
+                return true;
+            }
+            !job.pending_wl.is_empty() && job.entry.access.addr == addr
+        };
+        self.banks[bank].read_q.iter().all(|r| !is_hazard(r.addr))
     }
 
     /// First-touch hard-error planting for the DIMM-aging experiments.

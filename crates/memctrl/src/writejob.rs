@@ -63,8 +63,9 @@ pub enum Step {
     EcpWrite {
         /// The line whose ECP table receives the records.
         line: LineAddr,
-        /// `(cell, correct value)` pairs to record.
-        cells: Vec<(u16, bool)>,
+        /// Disturbed cells to record (their correct value is always `0`:
+        /// WD only crystallizes amorphous cells).
+        cells: Vec<u16>,
     },
     /// Correction write: RESET the listed cells of `line`.
     Correction {

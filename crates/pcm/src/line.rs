@@ -140,6 +140,30 @@ impl LineBuf {
     }
 }
 
+/// Owned iterator over the set-bit indices of a word array; lets mask
+/// iterators be returned without borrowing (or allocating).
+#[derive(Debug, Clone)]
+struct WordsBitIter {
+    words: [u64; LINE_WORDS],
+    wi: usize,
+}
+
+impl Iterator for WordsBitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.wi < LINE_WORDS {
+            let w = self.words[self.wi];
+            if w != 0 {
+                self.words[self.wi] = w & (w - 1);
+                return Some(self.wi * 64 + w.trailing_zeros() as usize);
+            }
+            self.wi += 1;
+        }
+        None
+    }
+}
+
 impl Default for LineBuf {
     fn default() -> Self {
         LineBuf::zeroed()
@@ -226,6 +250,22 @@ impl DiffMask {
         }
     }
 
+    /// [`DiffMask::reset_only`] for the `u16` cell indices the memory
+    /// controller's ECP work lists carry, avoiding a widening collect.
+    #[must_use]
+    pub fn reset_only_cells(cells: &[u16]) -> DiffMask {
+        let mut resets = [0u64; LINE_WORDS];
+        for &b in cells {
+            let b = b as usize;
+            assert!(b < LINE_BITS, "bit index out of range");
+            resets[b / 64] |= 1 << (b % 64);
+        }
+        DiffMask {
+            sets: [0; LINE_WORDS],
+            resets,
+        }
+    }
+
     /// Number of SET pulses.
     #[must_use]
     pub fn set_count(&self) -> u32 {
@@ -270,12 +310,14 @@ impl DiffMask {
         self.is_reset(bit) || self.is_set(bit)
     }
 
-    /// Iterator over cells receiving RESET pulses.
-    pub fn iter_resets(&self) -> impl Iterator<Item = usize> + '_ {
-        LineBuf { words: self.resets }
-            .iter_ones()
-            .collect::<Vec<_>>()
-            .into_iter()
+    /// Iterator over cells receiving RESET pulses. The iterator owns a
+    /// copy of the mask words, so it neither borrows `self` nor heap-
+    /// allocates.
+    pub fn iter_resets(&self) -> impl Iterator<Item = usize> {
+        WordsBitIter {
+            words: self.resets,
+            wi: 0,
+        }
     }
 
     /// The RESET mask as a [`LineBuf`] (1 = cell is RESET).
@@ -388,6 +430,72 @@ mod tests {
         let after = d.apply(&l);
         assert!(!after.bit(3));
         assert!(after.bit(4));
+    }
+
+    #[test]
+    fn iter_ones_empty_and_full() {
+        assert_eq!(LineBuf::zeroed().iter_ones().count(), 0);
+        let full = LineBuf::from_words([u64::MAX; LINE_WORDS]);
+        let bits: Vec<usize> = full.iter_ones().collect();
+        assert_eq!(bits.len(), LINE_BITS);
+        assert_eq!(bits[0], 0);
+        assert_eq!(bits[LINE_BITS - 1], LINE_BITS - 1);
+        assert!(
+            bits.windows(2).all(|w| w[0] + 1 == w[1]),
+            "strictly ascending"
+        );
+    }
+
+    #[test]
+    fn iter_ones_word_boundaries() {
+        // Bits straddling every 64-bit word seam must survive iteration.
+        let seam_bits = [
+            0usize, 63, 64, 127, 128, 191, 192, 255, 256, 319, 320, 383, 384, 447, 448, 511,
+        ];
+        let mut l = LineBuf::zeroed();
+        for &b in &seam_bits {
+            l.set_bit(b, true);
+        }
+        let got: Vec<usize> = l.iter_ones().collect();
+        assert_eq!(got, seam_bits);
+    }
+
+    #[test]
+    fn iter_resets_empty_and_full() {
+        assert_eq!(DiffMask::empty().iter_resets().count(), 0);
+        let all: Vec<usize> = (0..LINE_BITS).collect();
+        let full = DiffMask::reset_only(&all);
+        assert_eq!(full.reset_count(), LINE_BITS as u32);
+        let got: Vec<usize> = full.iter_resets().collect();
+        assert_eq!(got, all);
+    }
+
+    #[test]
+    fn iter_resets_word_boundaries() {
+        let d = DiffMask::reset_only(&[63, 64, 127, 128, 511]);
+        let got: Vec<usize> = d.iter_resets().collect();
+        assert_eq!(got, vec![63, 64, 127, 128, 511]);
+        for b in [63usize, 64, 127, 128, 511] {
+            assert!(d.is_reset(b));
+        }
+        assert!(!d.is_reset(65));
+    }
+
+    #[test]
+    fn reset_only_cells_matches_reset_only() {
+        let cells: [u16; 5] = [0, 63, 64, 127, 511];
+        let wide: Vec<usize> = cells.iter().map(|&c| c as usize).collect();
+        assert_eq!(
+            DiffMask::reset_only_cells(&cells),
+            DiffMask::reset_only(&wide)
+        );
+        assert_eq!(DiffMask::reset_only_cells(&[]), DiffMask::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reset_only_cells_rejects_bad_index() {
+        let _ = DiffMask::reset_only_cells(&[512]);
     }
 
     #[test]

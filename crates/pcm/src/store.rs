@@ -12,7 +12,7 @@
 //! errors — and keeps wear accounting. Orchestration (when to verify,
 //! what to correct) lives in the memory-controller crate.
 
-use std::collections::HashMap;
+use sdpcm_engine::hash::FxHashMap;
 
 use crate::ecp::{EcpKind, EcpTable};
 use crate::geometry::{LineAddr, MemGeometry, LINES_PER_ROW};
@@ -76,7 +76,7 @@ pub struct DeviceStore {
     geometry: MemGeometry,
     ecp_entries: usize,
     init: InitContent,
-    banks: Vec<HashMap<(u32, u8), LineState>>,
+    banks: Vec<FxHashMap<(u32, u8), LineState>>,
     wear: WearMeter,
 }
 
@@ -94,7 +94,9 @@ impl DeviceStore {
             geometry,
             ecp_entries,
             init,
-            banks: (0..geometry.banks()).map(|_| HashMap::new()).collect(),
+            banks: (0..geometry.banks())
+                .map(|_| FxHashMap::default())
+                .collect(),
             wear: WearMeter::default(),
         }
     }
@@ -147,7 +149,7 @@ impl DeviceStore {
     /// Number of materialized lines (test/diagnostic aid).
     #[must_use]
     pub fn materialized_lines(&self) -> usize {
-        self.banks.iter().map(HashMap::len).sum()
+        self.banks.iter().map(FxHashMap::len).sum()
     }
 
     fn line(&self, addr: LineAddr) -> Option<&LineState> {
@@ -275,6 +277,14 @@ impl DeviceStore {
             .map_or_else(|| EcpTable::new(self.ecp_entries), |l| l.ecp.clone())
     }
 
+    /// Borrowed view of a line's ECP table, `None` for untouched lines
+    /// (whose notional table is empty). Lets hot paths inspect entry
+    /// counts without cloning the table as [`DeviceStore::ecp`] does.
+    #[must_use]
+    pub fn ecp_ref(&self, addr: LineAddr) -> Option<&EcpTable> {
+        self.line(addr).map(|l| &l.ecp)
+    }
+
     /// Mutable access to a line's ECP table (materializes the line).
     pub fn ecp_mut(&mut self, addr: LineAddr) -> &mut EcpTable {
         &mut self.line_mut(addr).ecp
@@ -286,26 +296,28 @@ impl DeviceStore {
         self.line(addr).map_or(0, |l| l.stuck.len())
     }
 
-    /// FNV-1a digest of all materialized device state (raw data, ECP
-    /// tables, stuck cells), iterated in address order so the value is
-    /// independent of hash-map iteration order. Two runs of the same
-    /// seeded simulation must end with identical digests — the
-    /// reproducibility tests compare this instead of dumping 8 GB.
+    /// Digest of all materialized device state (raw data, ECP tables,
+    /// stuck cells). Each line is hashed on its own (FNV-1a over the
+    /// line's address and state) and the per-line digests are combined
+    /// with a commutative sum, so the value is independent of hash-map
+    /// iteration order *without* collecting and sorting the keys on
+    /// every call. Two runs of the same seeded simulation must end with
+    /// identical digests — the reproducibility tests compare this
+    /// instead of dumping 8 GB.
     #[must_use]
     pub fn content_digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            for byte in v.to_le_bytes() {
-                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
-            }
-        };
+        let mut total: u64 = 0;
+        let mut count: u64 = 0;
         for (bank, lines) in self.banks.iter().enumerate() {
-            let mut keys: Vec<(u32, u8)> = lines.keys().copied().collect();
-            keys.sort_unstable();
-            for key in keys {
-                let line = &lines[&key];
+            for (key, line) in lines {
+                let mut h = OFFSET;
+                let mut mix = |v: u64| {
+                    for byte in v.to_le_bytes() {
+                        h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+                    }
+                };
                 mix(bank as u64);
                 mix(u64::from(key.0) << 8 | u64::from(key.1));
                 for &w in line.data.words() {
@@ -319,9 +331,13 @@ impl DeviceStore {
                 for &(bit, val) in &line.stuck {
                     mix(u64::from(bit) << 1 | u64::from(val));
                 }
+                // Finalize: a second multiply round decorrelates lines so
+                // the commutative sum cannot cancel structured pairs.
+                total = total.wrapping_add(h.wrapping_mul(PRIME) ^ h.rotate_left(32));
+                count += 1;
             }
         }
-        h
+        total ^ count.wrapping_mul(PRIME)
     }
 }
 

@@ -10,7 +10,7 @@ use sdpcm_engine::SimRng;
 use sdpcm_pcm::line::{DiffMask, LineBuf};
 
 use crate::disturb::DisturbanceModel;
-use crate::pattern::{bitline_vulnerable, wordline_vulnerable};
+use crate::pattern::wordline_vulnerable_mask;
 use crate::scaling::ArraySpacing;
 use crate::thermal::Direction;
 
@@ -143,42 +143,72 @@ impl WdInjector {
     /// the written line flip to `1`. `after` is the line's post-write
     /// content, `diff` the write's mask.
     pub fn draw_wordline(&mut self, after: &LineBuf, diff: &DiffMask) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.draw_wordline_into(after, diff, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`WdInjector::draw_wordline`]: victims are
+    /// appended to `out` (which is cleared first), iterating the
+    /// vulnerable-cell mask directly instead of materializing the victim
+    /// list. The RNG draw sequence is identical to the collecting form —
+    /// ascending victim order, one roll per RESET exposure with early
+    /// exit on the first hit, and no draws at all when the effective
+    /// probability is zero.
+    pub fn draw_wordline_into(&mut self, after: &LineBuf, diff: &DiffMask, out: &mut Vec<u16>) {
+        out.clear();
         let p_wl = self.p_wordline();
         if p_wl <= 0.0 {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
-        for victim in wordline_vulnerable(after, diff) {
+        for b in wordline_vulnerable_mask(after, diff).iter_ones() {
             // A victim flanked by two RESET cells faces two independent
             // disturbance chances.
-            let b = victim as usize;
             let left = b > 0 && diff.is_reset(b - 1);
             let right = b + 1 < sdpcm_pcm::line::LINE_BITS && diff.is_reset(b + 1);
             let exposures = usize::from(left) + usize::from(right);
             for _ in 0..exposures {
                 if self.rng.chance(p_wl) {
-                    out.push(victim);
+                    out.push(b as u16);
                     break;
                 }
             }
         }
-        out
     }
 
     /// Rolls bit-line disturbances in one adjacent line: which of its `0`
     /// cells under RESET positions of the written line flip to `1`.
     pub fn draw_bitline(&mut self, diff: &DiffMask, neighbor: &LineBuf) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.draw_bitline_into(diff, neighbor, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`WdInjector::draw_bitline`]: victims are
+    /// appended to `out` (cleared first), iterating the `resets & !stored`
+    /// mask word by word. RNG draw order matches the collecting form.
+    pub fn draw_bitline_into(&mut self, diff: &DiffMask, neighbor: &LineBuf, out: &mut Vec<u16>) {
+        out.clear();
         let p_bl = self.p_bitline();
         if p_bl <= 0.0 {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
-        for victim in bitline_vulnerable(diff, neighbor) {
-            if self.rng.chance(p_bl) {
-                out.push(victim);
+        let reset_mask = diff.reset_mask();
+        for (wi, (&r, &n)) in reset_mask
+            .words()
+            .iter()
+            .zip(neighbor.words().iter())
+            .enumerate()
+        {
+            let mut vulnerable = r & !n;
+            while vulnerable != 0 {
+                let b = vulnerable.trailing_zeros() as usize;
+                vulnerable &= vulnerable - 1;
+                if self.rng.chance(p_bl) {
+                    out.push((wi * 64 + b) as u16);
+                }
             }
         }
-        out
     }
 }
 
@@ -257,6 +287,26 @@ mod tests {
             a.draw_bitline(&diff, &LineBuf::zeroed()),
             b.draw_bitline(&diff, &LineBuf::zeroed())
         );
+    }
+
+    #[test]
+    fn into_forms_clear_and_match_collecting_forms() {
+        let (after, diff) = reset_heavy_diff(50);
+        let mut a = injector(0.099, 0.115);
+        let mut b = injector(0.099, 0.115);
+        let wl_a = a.draw_wordline(&after, &diff);
+        let mut wl_b = vec![999]; // stale content must be cleared
+        b.draw_wordline_into(&after, &diff, &mut wl_b);
+        assert_eq!(wl_a, wl_b);
+        let bl_a = a.draw_bitline(&diff, &LineBuf::zeroed());
+        let mut bl_b = vec![999];
+        b.draw_bitline_into(&diff, &LineBuf::zeroed(), &mut bl_b);
+        assert_eq!(bl_a, bl_b);
+        // Zero probability clears the buffer without consuming draws.
+        let mut z = injector(0.0, 0.0);
+        let mut buf = vec![1, 2, 3];
+        z.draw_wordline_into(&after, &diff, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

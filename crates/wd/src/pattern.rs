@@ -14,7 +14,7 @@
 //! * **bit-line** victims are `0` cells at the *same bit position* in the
 //!   two adjacent rows (always idle: a write touches one word-line).
 
-use sdpcm_pcm::line::{DiffMask, LineBuf, LINE_BITS};
+use sdpcm_pcm::line::{DiffMask, LineBuf, LINE_WORDS};
 
 /// Word-line-vulnerable cells of a write: idle cells whose final stored
 /// value is `0` and that have at least one RESET neighbour within the
@@ -39,24 +39,43 @@ use sdpcm_pcm::line::{DiffMask, LineBuf, LINE_BITS};
 /// ```
 #[must_use]
 pub fn wordline_vulnerable(after: &LineBuf, diff: &DiffMask) -> Vec<u16> {
-    let mut out = Vec::new();
-    for bit in 0..LINE_BITS {
-        if diff.is_programmed(bit) || after.bit(bit) {
-            continue; // programmed, or stores 1 (crystalline, immune)
-        }
-        let left_reset = bit > 0 && diff.is_reset(bit - 1);
-        let right_reset = bit + 1 < LINE_BITS && diff.is_reset(bit + 1);
-        if left_reset || right_reset {
-            out.push(bit as u16);
-        }
+    wordline_vulnerable_mask(after, diff)
+        .iter_ones()
+        .map(|b| b as u16)
+        .collect()
+}
+
+/// Word-line-vulnerable cells as a bitmask (1 = vulnerable), computed
+/// with word-parallel shifts instead of a per-bit scan: a cell is
+/// vulnerable iff it is idle (`!programmed`), stores `0` (`!after`), and
+/// a RESET mask bit sits directly to its left or right (the RESET mask
+/// shifted by one position either way, with carries across word seams).
+#[must_use]
+pub fn wordline_vulnerable_mask(after: &LineBuf, diff: &DiffMask) -> LineBuf {
+    let sets = diff.set_mask();
+    let resets = diff.reset_mask();
+    let r = resets.words();
+    let mut out = [0u64; LINE_WORDS];
+    for i in 0..LINE_WORDS {
+        let idle_zero = !(sets.words()[i] | r[i]) & !after.words()[i];
+        // Neighbour-of-RESET: resets shifted up (left neighbour is RESET)
+        // and down (right neighbour is RESET), carrying across words.
+        let from_left = (r[i] << 1) | if i > 0 { r[i - 1] >> 63 } else { 0 };
+        let from_right = (r[i] >> 1)
+            | if i + 1 < LINE_WORDS {
+                r[i + 1] << 63
+            } else {
+                0
+            };
+        out[i] = idle_zero & (from_left | from_right);
     }
-    out
+    LineBuf::from_words(out)
 }
 
 /// Number of word-line-vulnerable cells (the DIN encoder's objective).
 #[must_use]
 pub fn wordline_vulnerable_count(after: &LineBuf, diff: &DiffMask) -> usize {
-    wordline_vulnerable(after, diff).len()
+    wordline_vulnerable_mask(after, diff).count_ones() as usize
 }
 
 /// Bit-line-vulnerable cells of one adjacent line: positions that are
@@ -85,6 +104,31 @@ pub fn bitline_vulnerable(diff: &DiffMask, neighbor: &LineBuf) -> Vec<u16> {
     out
 }
 
+/// Number of bit-line-vulnerable cells in one adjacent line, without
+/// materializing the victim list (a popcount over `resets & !neighbor`).
+#[must_use]
+pub fn bitline_vulnerable_count(diff: &DiffMask, neighbor: &LineBuf) -> usize {
+    let reset_mask = diff.reset_mask();
+    reset_mask
+        .words()
+        .iter()
+        .zip(neighbor.words().iter())
+        .map(|(&r, &n)| (r & !n).count_ones() as usize)
+        .sum()
+}
+
+/// Whether an adjacent line has any bit-line-vulnerable cell (early-exit
+/// form of [`bitline_vulnerable_count`] for hazard checks).
+#[must_use]
+pub fn bitline_any_vulnerable(diff: &DiffMask, neighbor: &LineBuf) -> bool {
+    let reset_mask = diff.reset_mask();
+    reset_mask
+        .words()
+        .iter()
+        .zip(neighbor.words().iter())
+        .any(|(&r, &n)| r & !n != 0)
+}
+
 /// Worst-case disturbance fan-out of one RESET: up to four neighbours
 /// (left/right along the word-line, up/down along the bit-line) can be
 /// vulnerable simultaneously (paper §2.2.1).
@@ -93,6 +137,7 @@ pub const MAX_VICTIMS_PER_RESET: usize = 4;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdpcm_pcm::line::LINE_BITS;
 
     #[test]
     fn wordline_requires_idle_zero_next_to_reset() {
@@ -161,6 +206,58 @@ mod tests {
         let diff = DiffMask::empty();
         let neighbor = LineBuf::zeroed();
         assert!(bitline_vulnerable(&diff, &neighbor).is_empty());
+    }
+
+    fn patterned(seed: u64) -> LineBuf {
+        let mut words = [0u64; LINE_WORDS];
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for w in &mut words {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *w = x;
+        }
+        LineBuf::from_words(words)
+    }
+
+    #[test]
+    fn wordline_mask_matches_per_bit_reference() {
+        for seed in 0..8u64 {
+            let old = patterned(seed);
+            let new = patterned(seed + 100);
+            let diff = DiffMask::between(&old, &new);
+            let got = wordline_vulnerable(&new, &diff);
+            let reference: Vec<u16> = (0..LINE_BITS)
+                .filter(|&bit| {
+                    if diff.is_programmed(bit) || new.bit(bit) {
+                        return false;
+                    }
+                    let left = bit > 0 && diff.is_reset(bit - 1);
+                    let right = bit + 1 < LINE_BITS && diff.is_reset(bit + 1);
+                    left || right
+                })
+                .map(|b| b as u16)
+                .collect();
+            assert_eq!(got, reference, "seed {seed}");
+            assert_eq!(wordline_vulnerable_count(&new, &diff), reference.len());
+        }
+    }
+
+    #[test]
+    fn bitline_count_and_any_match_list() {
+        for seed in 0..8u64 {
+            let old = patterned(seed);
+            let new = patterned(seed + 7);
+            let diff = DiffMask::between(&old, &new);
+            let neighbor = patterned(seed + 31);
+            let list = bitline_vulnerable(&diff, &neighbor);
+            assert_eq!(bitline_vulnerable_count(&diff, &neighbor), list.len());
+            assert_eq!(bitline_any_vulnerable(&diff, &neighbor), !list.is_empty());
+        }
+        assert!(!bitline_any_vulnerable(
+            &DiffMask::empty(),
+            &LineBuf::zeroed()
+        ));
     }
 
     #[test]

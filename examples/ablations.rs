@@ -92,10 +92,10 @@ fn main() {
     run_encoder("identity", &|p, _s, _f| (*p, DinFlags::default()));
 
     println!("\n== 3. ECP record placement (LazyC on lbm) ==\n");
-    let base = run_cell(Scheme::baseline(), BenchKind::Lbm, &params);
-    let overlapped = run_cell(Scheme::lazyc(), BenchKind::Lbm, &params);
+    let base = run_cell(&Scheme::baseline(), BenchKind::Lbm, &params);
+    let overlapped = run_cell(&Scheme::lazyc(), BenchKind::Lbm, &params);
     let inline = run_cell(
-        Scheme {
+        &Scheme {
             name: "LazyC(inline-ECP)".into(),
             ctrl: Scheme::lazyc().ctrl.with_inline_ecp_writes(),
             ratio: NmRatio::one_one(),
@@ -115,9 +115,9 @@ fn main() {
 
     println!("\n== 4. Write cancellation vs write pausing (LazyC on mcf) ==\n");
     let bench = BenchKind::Mcf;
-    let plain = run_cell(Scheme::lazyc(), bench, &params);
+    let plain = run_cell(&Scheme::lazyc(), bench, &params);
     let wc = run_cell(
-        Scheme {
+        &Scheme {
             name: "LazyC+WC".into(),
             ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
             ratio: NmRatio::one_one(),
@@ -126,7 +126,7 @@ fn main() {
         &params,
     );
     let wp = run_cell(
-        Scheme {
+        &Scheme {
             name: "LazyC+WP".into(),
             ctrl: Scheme::lazyc().ctrl.with_write_pausing(),
             ratio: NmRatio::one_one(),
@@ -165,7 +165,7 @@ fn main() {
         Scheme::lazyc_preread_two_three(),
         Scheme::one_two_alloc(),
     ] {
-        let r = run_cell(s.clone(), BenchKind::Lbm, &params);
+        let r = run_cell(&s, BenchKind::Lbm, &params);
         println!(
             "{:<20} {:>6.1}%",
             s.name,
@@ -174,11 +174,11 @@ fn main() {
     }
 
     println!("\n== 6. Start-Gap gap period (DIN on zeusmp) ==\n");
-    let no_sg = run_cell(Scheme::din(), BenchKind::Zeusmp, &params);
+    let no_sg = run_cell(&Scheme::din(), BenchKind::Zeusmp, &params);
     println!("psi      speedup vs no-wear-leveling  gap moves");
     for psi in [16u32, 64, 256] {
         let r = run_cell(
-            Scheme {
+            &Scheme {
                 name: format!("DIN+SG{psi}"),
                 ctrl: Scheme::din().ctrl.with_start_gap(psi),
                 ratio: NmRatio::one_one(),

@@ -25,7 +25,7 @@ fn main() {
         bench.name()
     );
 
-    let din = run_cell(Scheme::din(), bench, &params);
+    let din = run_cell(&Scheme::din(), bench, &params);
     let policy = VerifyPolicy::new(1 << 20);
 
     println!("allocator  usable capacity  adj. lines verified/write  speedup vs DIN");
@@ -35,7 +35,7 @@ fn main() {
         NmRatio::two_three(),
         NmRatio::one_two(),
     ] {
-        let r = run_cell(Scheme::baseline_with_ratio(ratio), bench, &params);
+        let r = run_cell(&Scheme::baseline_with_ratio(ratio), bench, &params);
         println!(
             "{:<10} {:>8.1}%          {:>4.2}                      {:.3}",
             ratio.to_string(),

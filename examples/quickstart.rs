@@ -18,11 +18,11 @@ fn main() {
     println!("SD-PCM quickstart: mcf on 4F2 super dense PCM\n");
 
     // The WD-free 8F2 reference design...
-    let din = run_cell(Scheme::din(), BenchKind::Mcf, &params);
+    let din = run_cell(&Scheme::din(), BenchKind::Mcf, &params);
     // ...the naive verify-and-correct baseline on 4F2...
-    let baseline = run_cell(Scheme::baseline(), BenchKind::Mcf, &params);
+    let baseline = run_cell(&Scheme::baseline(), BenchKind::Mcf, &params);
     // ...and the full SD-PCM recipe on the same 4F2 array.
-    let sdpcm = run_cell(Scheme::lazyc_preread_two_three(), BenchKind::Mcf, &params);
+    let sdpcm = run_cell(&Scheme::lazyc_preread_two_three(), BenchKind::Mcf, &params);
 
     println!("scheme                 cycles        speedup vs baseline");
     for r in [&din, &baseline, &sdpcm] {

@@ -33,7 +33,7 @@
 //! use sdpcm::trace::BenchKind;
 //!
 //! let params = ExperimentParams::quick_test();
-//! let mut sim = SystemSim::build(Scheme::lazyc_preread(), BenchKind::Mcf, &params)?;
+//! let mut sim = SystemSim::build(&Scheme::lazyc_preread(), BenchKind::Mcf, &params)?;
 //! let stats = sim.run()?;
 //! assert!(stats.total_cycles > 0);
 //! # Ok::<(), sdpcm::core::SdpcmError>(())
@@ -45,7 +45,7 @@
 /// use sdpcm::prelude::*;
 ///
 /// let params = ExperimentParams::quick_test();
-/// let mut sim = SystemSim::build(Scheme::din(), BenchKind::Wrf, &params).unwrap();
+/// let mut sim = SystemSim::build(&Scheme::din(), BenchKind::Wrf, &params).unwrap();
 /// let _ = sim.run().unwrap();
 /// ```
 pub mod prelude {

@@ -193,7 +193,7 @@ fn system_level_fault_plan_is_deterministic() {
             ecp_entries: 1,
             ..ExperimentParams::quick_test()
         };
-        let mut sim = SystemSim::build(Scheme::lazyc(), BenchKind::Mcf, &params)
+        let mut sim = SystemSim::build(&Scheme::lazyc(), BenchKind::Mcf, &params)
             .expect("quick-test params are valid");
         sim.install_fault_plan(
             FaultPlan::new()

@@ -28,7 +28,7 @@ fn sanity(r: &RunStats) {
 fn every_figure11_scheme_completes_on_a_light_and_heavy_workload() {
     for bench in [BenchKind::Wrf, BenchKind::Mcf] {
         for scheme in Scheme::figure11_set() {
-            let r = run_cell(scheme, bench, &params());
+            let r = run_cell(&scheme, bench, &params());
             sanity(&r);
         }
     }
@@ -39,17 +39,17 @@ fn mechanisms_fire_where_expected() {
     let p = params();
     let bench = BenchKind::Lbm;
 
-    let din = run_cell(Scheme::din(), bench, &p);
+    let din = run_cell(&Scheme::din(), bench, &p);
     assert_eq!(din.ctrl.verification_ops.get(), 0);
     assert_eq!(din.ctrl.correction_ops.get(), 0);
     assert_eq!(din.ctrl.ecp_records.get(), 0);
 
-    let base = run_cell(Scheme::baseline(), bench, &p);
+    let base = run_cell(&Scheme::baseline(), bench, &p);
     assert!(base.ctrl.verification_ops.get() > 0);
     assert!(base.ctrl.correction_ops.get() > 0);
     assert_eq!(base.ctrl.ecp_records.get(), 0, "no LazyC in baseline");
 
-    let lazy = run_cell(Scheme::lazyc(), bench, &p);
+    let lazy = run_cell(&Scheme::lazyc(), bench, &p);
     assert!(lazy.ctrl.ecp_records.get() > 0);
     assert!(
         lazy.ctrl.correction_ops.get() < base.ctrl.correction_ops.get(),
@@ -58,13 +58,13 @@ fn mechanisms_fire_where_expected() {
         base.ctrl.correction_ops.get()
     );
 
-    let pre = run_cell(Scheme::lazyc_preread(), bench, &p);
+    let pre = run_cell(&Scheme::lazyc_preread(), bench, &p);
     assert!(
         pre.ctrl.prereads_issued.get() > 0,
         "PreRead used idle slots"
     );
 
-    let alloc12 = run_cell(Scheme::one_two_alloc(), bench, &p);
+    let alloc12 = run_cell(&Scheme::one_two_alloc(), bench, &p);
     assert_eq!(alloc12.ctrl.verification_ops.get(), 0);
 }
 
@@ -77,11 +77,11 @@ fn scheme_ordering_on_memory_intensive_workload() {
         ..params()
     };
     let bench = BenchKind::Mcf;
-    let base = run_cell(Scheme::baseline(), bench, &p);
-    let din = run_cell(Scheme::din(), bench, &p).speedup_vs(&base);
-    let lazyc = run_cell(Scheme::lazyc(), bench, &p).speedup_vs(&base);
-    let combo = run_cell(Scheme::lazyc_preread_two_three(), bench, &p).speedup_vs(&base);
-    let alloc12 = run_cell(Scheme::one_two_alloc(), bench, &p).speedup_vs(&base);
+    let base = run_cell(&Scheme::baseline(), bench, &p);
+    let din = run_cell(&Scheme::din(), bench, &p).speedup_vs(&base);
+    let lazyc = run_cell(&Scheme::lazyc(), bench, &p).speedup_vs(&base);
+    let combo = run_cell(&Scheme::lazyc_preread_two_three(), bench, &p).speedup_vs(&base);
+    let alloc12 = run_cell(&Scheme::one_two_alloc(), bench, &p).speedup_vs(&base);
 
     assert!(din > 1.2, "DIN clearly beats basic VnC: {din}");
     assert!(lazyc > 1.05, "LazyC improves on baseline: {lazyc}");
@@ -108,7 +108,7 @@ fn mixed_workload_runs() {
         BenchKind::Stream.profile(),
     ];
     let w = Workload::mixed("mix-all", profiles);
-    let mut sim = sdpcm::core::SystemSim::build_workload(Scheme::lazyc_preread(), &w, &params())
+    let mut sim = sdpcm::core::SystemSim::build_workload(&Scheme::lazyc_preread(), &w, &params())
         .expect("mixed workload fits the sized geometry");
     let r = sim.run().expect("mixed workload completes");
     assert_eq!(r.workload, "mix-all");
@@ -122,13 +122,13 @@ fn write_cancellation_reduces_read_latency_on_read_heavy_mix() {
         ..params()
     };
     let bench = BenchKind::Mcf;
-    let plain = run_cell(Scheme::lazyc(), bench, &p);
+    let plain = run_cell(&Scheme::lazyc(), bench, &p);
     let wc_scheme = Scheme {
         name: "WC+LazyC".into(),
         ctrl: Scheme::lazyc().ctrl.with_write_cancellation(),
         ratio: sdpcm::osalloc::NmRatio::one_one(),
     };
-    let wc = run_cell(wc_scheme, bench, &p);
+    let wc = run_cell(&wc_scheme, bench, &p);
     assert!(wc.ctrl.write_cancellations.get() > 0, "WC fired");
     assert!(
         wc.ctrl.avg_read_latency() < plain.ctrl.avg_read_latency(),
@@ -147,12 +147,12 @@ fn aging_degrades_gracefully() {
         refs_per_core: 2_500,
         ..params()
     };
-    let fresh = run_cell(Scheme::lazyc(), BenchKind::Zeusmp, &p);
+    let fresh = run_cell(&Scheme::lazyc(), BenchKind::Zeusmp, &p);
     let aged_params = ExperimentParams {
         dimm_age: Some(1.0),
         ..p
     };
-    let aged = run_cell(Scheme::lazyc(), BenchKind::Zeusmp, &aged_params);
+    let aged = run_cell(&Scheme::lazyc(), BenchKind::Zeusmp, &aged_params);
     assert!(
         aged.ctrl.correction_ops.get() > 2 * fresh.ctrl.correction_ops.get(),
         "end-of-life hard errors must force extra corrections: {} vs {}",

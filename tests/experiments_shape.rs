@@ -31,8 +31,8 @@ fn fig4_shape_bitline_dominates_and_gems_is_mildest() {
     // Paper: WL errors well mitigated (avg ~0.4); up to 9 errors per
     // adjacent line; gemsFDTD flips few bits so it has the fewest errors.
     let p = params();
-    let mcf = run_cell(Scheme::baseline(), BenchKind::Mcf, &p);
-    let gems = run_cell(Scheme::baseline(), BenchKind::GemsFdtd, &p);
+    let mcf = run_cell(&Scheme::baseline(), BenchKind::Mcf, &p);
+    let gems = run_cell(&Scheme::baseline(), BenchKind::GemsFdtd, &p);
 
     let mcf_bl = mcf.ctrl.bl_errors_per_neighbor.mean();
     let mcf_wl = mcf.ctrl.wl_errors.mean();
@@ -54,8 +54,8 @@ fn fig4_shape_bitline_dominates_and_gems_is_mildest() {
 #[test]
 fn fig5_shape_vnc_overhead_splits_into_verify_and_correct() {
     let p = params();
-    let din = run_cell(Scheme::din(), BenchKind::Lbm, &p);
-    let vnc = run_cell(Scheme::baseline(), BenchKind::Lbm, &p);
+    let din = run_cell(&Scheme::din(), BenchKind::Lbm, &p);
+    let vnc = run_cell(&Scheme::baseline(), BenchKind::Lbm, &p);
     let total = vnc.cpi() / din.cpi() - 1.0;
     assert!(total > 0.10, "basic VnC has substantial overhead: {total}");
     let v = vnc.ctrl.phases.verification_total();
@@ -76,8 +76,8 @@ fn fig12_13_shape_ecp_entries_slash_corrections() {
         ecp_entries: 6,
         ..params()
     };
-    let ecp0 = run_cell(Scheme::baseline(), bench, &p0);
-    let ecp6 = run_cell(Scheme::lazyc(), bench, &p6);
+    let ecp0 = run_cell(&Scheme::baseline(), bench, &p0);
+    let ecp6 = run_cell(&Scheme::lazyc(), bench, &p6);
 
     let c0 = ecp0.ctrl.corrections_per_write();
     let c6 = ecp6.ctrl.corrections_per_write();
@@ -116,8 +116,8 @@ fn fig15_shape_bigger_queues_help_preread() {
             refs_per_core: 2_000,
             ..params()
         };
-        let base = run_cell(Scheme::baseline(), bench, &p);
-        run_cell(Scheme::lazyc_preread(), bench, &p).speedup_vs(&base)
+        let base = run_cell(&Scheme::baseline(), bench, &p);
+        run_cell(&Scheme::lazyc_preread(), bench, &p).speedup_vs(&base)
     };
     let s8 = speedup_at(8);
     let s64 = speedup_at(64);
@@ -135,8 +135,8 @@ fn fig16_shape_ratio_dial_is_monotone() {
         refs_per_core: 2_000,
         ..params()
     };
-    let base = run_cell(Scheme::baseline(), bench, &p);
-    let s = |r: NmRatio| run_cell(Scheme::baseline_with_ratio(r), bench, &p).speedup_vs(&base);
+    let base = run_cell(&Scheme::baseline(), bench, &p);
+    let s = |r: NmRatio| run_cell(&Scheme::baseline_with_ratio(r), bench, &p).speedup_vs(&base);
     let s12 = s(NmRatio::one_two());
     let s23 = s(NmRatio::two_three());
     let s34 = s(NmRatio::three_four());
@@ -149,7 +149,7 @@ fn fig16_shape_ratio_dial_is_monotone() {
 #[test]
 fn fig17_18_shape_ecp_chip_ages_faster_than_data_chips() {
     let p = params();
-    let r = run_cell(Scheme::lazyc(), BenchKind::Mcf, &p);
+    let r = run_cell(&Scheme::lazyc(), BenchKind::Mcf, &p);
     let data = r.wear.data_lifetime_norm();
     let ecp = r.wear.ecp_lifetime_norm();
     assert!(data > 0.99, "data-chip degradation is tiny: {data}");
