@@ -8,8 +8,10 @@
 //! ```
 //!
 //! The `bench` subcommand measures the simulator instead of running it
-//! for results: single-cell throughput and the fig11 sweep's sequential
-//! vs parallel wall time, recorded into `BENCH_sweep.json`:
+//! for results: single-cell throughput, the fig11 sweep's sequential vs
+//! parallel wall time, and the capture-once/replay-many hierarchy sweep
+//! (inline front-end generation vs shared-trace replay, bit-identical
+//! by construction), recorded into `BENCH_sweep.json`:
 //!
 //! ```text
 //! cargo run -p sdpcm-bench --release --bin figures -- bench
@@ -126,6 +128,25 @@ fn bench_main(args: Vec<String>) {
         assert!(
             f.identical,
             "parallel sweep output diverged from sequential"
+        );
+    }
+    for t in &results.replay {
+        println!(
+            "{} ({} schemes x {:?}, {} accesses/core): inline {:.2}s, \
+             capture {:.2}s + replay = {:.2}s ({:.2}x), identical: {}",
+            t.sweep,
+            t.schemes,
+            t.benches,
+            t.accesses_per_core,
+            t.inline_secs,
+            t.capture_secs,
+            t.replay_secs,
+            t.inline_secs / t.replay_secs.max(1e-12),
+            t.identical
+        );
+        assert!(
+            t.identical,
+            "replayed sweep output diverged from inline generation"
         );
     }
     let json = perf::to_json(&results);

@@ -12,11 +12,14 @@
 //! so no serde).
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use criterion::time_function;
+use sdpcm_cachesim::hierarchy::HierarchyConfig;
 use sdpcm_core::experiments::{fig11, run_cell};
+use sdpcm_core::hiersim::{HierarchyParams, HierarchySim};
 use sdpcm_core::sweep;
-use sdpcm_core::{ExperimentParams, Scheme};
+use sdpcm_core::{ExperimentParams, HierTrace, RunStats, Scheme};
 use sdpcm_trace::BenchKind;
 
 /// Throughput of one repeatedly-simulated `(scheme, benchmark)` cell.
@@ -53,6 +56,33 @@ pub struct FigureTiming {
     pub identical: bool,
 }
 
+/// Capture-once/replay-many versus inline generation on one
+/// multi-scheme sweep: every cell of the sweep is run twice — once with
+/// the full front end inline (cores, caches, RNG draws) and once
+/// replaying a trace captured once per benchmark — and the results must
+/// be bit-identical while the replay pass finishes faster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayTiming {
+    /// Sweep id (e.g. `"hier-fig11"`).
+    pub sweep: String,
+    /// Schemes in the sweep.
+    pub schemes: usize,
+    /// Benchmark names the sweep covers.
+    pub benches: Vec<String>,
+    /// Post-cache hierarchy accesses per core per cell.
+    pub accesses_per_core: u64,
+    /// Wall seconds running every cell with inline generation.
+    pub inline_secs: f64,
+    /// Wall seconds spent capturing traces (one per benchmark),
+    /// already included in `replay_secs`.
+    pub capture_secs: f64,
+    /// Wall seconds for capture plus every replayed cell.
+    pub replay_secs: f64,
+    /// Whether every replayed cell matched its inline cell exactly
+    /// (`RunStats`, PCM traffic, and device content digest).
+    pub identical: bool,
+}
+
 /// Everything one `figures bench` invocation measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfResults {
@@ -68,6 +98,8 @@ pub struct PerfResults {
     pub single_cells: Vec<SingleCell>,
     /// Figure-sweep timings.
     pub figures: Vec<FigureTiming>,
+    /// Capture-vs-replay timings.
+    pub replay: Vec<ReplayTiming>,
 }
 
 /// Runs the perf harness: times single-cell throughput and the fig11
@@ -110,6 +142,8 @@ pub fn run(mode: &str, params: &ExperimentParams, workers: usize) -> PerfResults
         identical: seq.1 == par.1,
     }];
 
+    let replay = vec![replay_timing(mode, params)];
+
     PerfResults {
         mode: mode.to_owned(),
         host_cores,
@@ -117,7 +151,73 @@ pub fn run(mode: &str, params: &ExperimentParams, workers: usize) -> PerfResults
         refs_per_core: params.refs_per_core,
         single_cells,
         figures,
+        replay,
     }
+}
+
+/// One cell's replay-relevant outcome: the run stats, the PCM traffic
+/// counts, and the device's final content digest.
+type CellResult = (RunStats, (u64, u64), u64);
+
+/// Times the hierarchy multi-scheme sweep (every figure 11 scheme over a
+/// cache-resident and a miss-heavy benchmark) twice: inline front-end
+/// generation per cell versus one trace capture per benchmark plus
+/// replays, verifying the two passes agree bit for bit.
+fn replay_timing(mode: &str, params: &ExperimentParams) -> ReplayTiming {
+    let accesses = if mode == "smoke" { 20_000 } else { 100_000 };
+    let hp = HierarchyParams {
+        accesses_per_core: accesses,
+        insts_per_access: 3,
+        store_fraction: 0.3,
+        caches: HierarchyConfig::table2(),
+    };
+    let benches = [BenchKind::Wrf, BenchKind::Mcf];
+    let schemes = Scheme::figure11_set();
+
+    let inline_started = Instant::now();
+    let mut inline = Vec::new();
+    for bench in benches {
+        for scheme in &schemes {
+            let mut sim = HierarchySim::build(scheme.clone(), bench, params, &hp)
+                .expect("hierarchy cell build");
+            inline.push(cell_result(sim.run().expect("hierarchy cell run"), &sim));
+        }
+    }
+    let inline_secs = inline_started.elapsed().as_secs_f64();
+
+    let replay_started = Instant::now();
+    let mut capture_secs = 0.0;
+    let mut replayed = Vec::new();
+    for bench in benches {
+        let capture_started = Instant::now();
+        let trace = HierTrace::capture(bench, params, &hp);
+        capture_secs += capture_started.elapsed().as_secs_f64();
+        for scheme in &schemes {
+            let mut sim = HierarchySim::build_replay(scheme.clone(), bench, params, &hp, &trace)
+                .expect("hierarchy replay build");
+            replayed.push(cell_result(sim.run().expect("hierarchy replay run"), &sim));
+        }
+    }
+    let replay_secs = replay_started.elapsed().as_secs_f64();
+
+    ReplayTiming {
+        sweep: "hier-fig11".to_owned(),
+        schemes: schemes.len(),
+        benches: benches.iter().map(|b| b.name().to_owned()).collect(),
+        accesses_per_core: accesses,
+        inline_secs,
+        capture_secs,
+        replay_secs,
+        identical: inline == replayed,
+    }
+}
+
+fn cell_result(stats: RunStats, sim: &HierarchySim) -> CellResult {
+    (
+        stats,
+        sim.pcm_traffic(),
+        sim.controller().store().content_digest(),
+    )
 }
 
 /// Times one fig11 sweep, returning (wall seconds, rows).
@@ -141,12 +241,12 @@ fn with_workers<T>(workers: usize, f: impl FnOnce() -> T) -> T {
 }
 
 /// Serializes the results as the `BENCH_sweep.json` document
-/// (`schema_version` 1).
+/// (`schema_version` 2; version 2 added the `replay` section).
 #[must_use]
 pub fn to_json(r: &PerfResults) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"schema_version\": 2,");
     let _ = writeln!(s, "  \"mode\": {},", json_str(&r.mode));
     let _ = writeln!(s, "  \"host_cores\": {},", r.host_cores);
     let _ = writeln!(s, "  \"seed\": {},", r.seed);
@@ -181,6 +281,27 @@ pub fn to_json(r: &PerfResults) -> String {
             json_num(f.sequential_secs / f.parallel_secs.max(1e-12)),
             f.identical,
             comma(i, r.figures.len()),
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"replay\": [\n");
+    for (i, t) in r.replay.iter().enumerate() {
+        let benches: Vec<String> = t.benches.iter().map(|b| json_str(b)).collect();
+        let _ = writeln!(
+            s,
+            "    {{\"sweep\": {}, \"schemes\": {}, \"benches\": [{}], \
+             \"accesses_per_core\": {}, \"inline_secs\": {}, \"capture_secs\": {}, \
+             \"replay_secs\": {}, \"speedup\": {}, \"identical\": {}}}{}",
+            json_str(&t.sweep),
+            t.schemes,
+            benches.join(", "),
+            t.accesses_per_core,
+            json_num(t.inline_secs),
+            json_num(t.capture_secs),
+            json_num(t.replay_secs),
+            json_num(t.inline_secs / t.replay_secs.max(1e-12)),
+            t.identical,
+            comma(i, r.replay.len()),
         );
     }
     s.push_str("  ]\n}\n");
@@ -248,6 +369,16 @@ mod tests {
                 workers: 4,
                 identical: true,
             }],
+            replay: vec![ReplayTiming {
+                sweep: "hier-fig11".to_owned(),
+                schemes: 7,
+                benches: vec!["wrf".to_owned(), "mcf".to_owned()],
+                accesses_per_core: 20_000,
+                inline_secs: 8.0,
+                capture_secs: 0.25,
+                replay_secs: 2.0,
+                identical: true,
+            }],
         }
     }
 
@@ -255,13 +386,17 @@ mod tests {
     fn json_has_schema_and_metrics() {
         let j = to_json(&sample());
         for needle in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"mode\": \"smoke\"",
             "\"host_cores\": 4",
             "\"cycles_per_sec\": 1000000",
             "\"figure\": \"fig11\"",
             "\"speedup\": 2.5",
             "\"identical\": true",
+            "\"sweep\": \"hier-fig11\"",
+            "\"benches\": [\"wrf\", \"mcf\"]",
+            "\"capture_secs\": 0.25",
+            "\"speedup\": 4",
         ] {
             assert!(j.contains(needle), "missing {needle} in:\n{j}");
         }

@@ -103,6 +103,15 @@ pub enum SimError {
         /// Controller queue state at detection.
         snapshot: CtrlSnapshot,
     },
+    /// A replay build was handed a trace captured for different inputs
+    /// (workload, seed or quota); replaying it would silently simulate
+    /// the wrong experiment.
+    TraceMismatch {
+        /// What the simulator expected, `workload/seed/refs_per_core`.
+        expect: String,
+        /// What the trace was captured for.
+        got: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -116,6 +125,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "simulation livelock at cycle {cycle} after {refs_done} refs [{snapshot}]"
             ),
+            SimError::TraceMismatch { expect, got } => {
+                write!(f, "trace mismatch: expected {expect}, capture is {got}")
+            }
         }
     }
 }

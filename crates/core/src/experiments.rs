@@ -18,12 +18,16 @@ use sdpcm_wd::disturb::DisturbanceModel;
 use sdpcm_wd::scaling::ArraySpacing;
 use sdpcm_wd::thermal::Direction;
 
+use sdpcm_trace::Workload;
+
 use crate::config::{ExperimentParams, Scheme};
 use crate::metrics::RunStats;
 use crate::sweep::{default_workers, parallel_map};
 use crate::system::SystemSim;
+use crate::tracestore::TraceStore;
 
-/// Runs one (scheme, benchmark) cell.
+/// Runs one (scheme, benchmark) cell, generating the reference stream
+/// inline.
 ///
 /// # Panics
 ///
@@ -38,14 +42,44 @@ pub fn run_cell(scheme: &Scheme, bench: BenchKind, params: &ExperimentParams) ->
         .expect("figure runners use known-good configurations")
 }
 
+/// Runs one (scheme, benchmark) cell over a shared trace store: the
+/// workload's reference stream is captured on first touch (or loaded
+/// from the store's disk cache) and replayed. Bit-identical to
+/// [`run_cell`] — the golden replay tests pin that.
+///
+/// # Panics
+///
+/// Panics on a simulation error, like [`run_cell`].
+#[must_use]
+pub fn run_cell_replay(
+    store: &TraceStore,
+    scheme: &Scheme,
+    bench: BenchKind,
+    params: &ExperimentParams,
+) -> RunStats {
+    let workload = Workload::homogeneous(bench);
+    let trace = store.get(&workload, params.seed, params.refs_per_core);
+    SystemSim::build_replay(scheme, &workload, params, &trace)
+        .and_then(|mut sim| sim.run())
+        .expect("figure runners use known-good configurations")
+}
+
 /// One flattened sweep cell: a borrowed scheme, a benchmark, and the
 /// (possibly knob-adjusted) parameters it runs under.
 type Cell<'a> = (&'a Scheme, BenchKind, ExperimentParams);
 
 /// Runs a flat cell list on the worker pool, results in input order.
+///
+/// Cells replay from a sweep-wide [`TraceStore`]: each distinct
+/// `(workload, seed, refs_per_core)` stream is captured once by the
+/// first cell to want it and shared (`Arc`) with every other cell —
+/// knob sweeps (ECP entries, queue sizes, ages) reuse one trace across
+/// the whole knob range. Set `SDPCM_TRACE_DIR` to also persist traces
+/// across processes.
 fn run_cells(cells: &[Cell<'_>]) -> Vec<RunStats> {
+    let store = TraceStore::from_env();
     parallel_map(cells, default_workers(), |(scheme, bench, params)| {
-        run_cell(scheme, *bench, params)
+        run_cell_replay(&store, scheme, *bench, params)
     })
 }
 

@@ -12,22 +12,36 @@
 //! core through the hierarchy latency plus, on an L3 miss, the PCM read;
 //! stores are posted once the hierarchy access completes; write-backs
 //! synthesize their payload from the line's newest architectural value
-//! (the store path is presence/dirtiness only, per `sdpcm-cachesim`).
+//! XOR a per-core toggle mask (the store path is presence/dirtiness
+//! only, per `sdpcm-cachesim`).
+//!
+//! Two front ends drive the same backend:
+//!
+//! * [`HierarchySim::build`] simulates the cache stacks inline;
+//! * [`HierarchySim::build_replay`] walks a [`HierTrace`] captured once
+//!   by [`HierTrace::capture`], skipping the cache simulation and the
+//!   absorbed (cache-resident) accesses entirely. Both produce
+//!   bit-identical [`RunStats`] and device state — the determinism
+//!   contract `DESIGN.md` spells out.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use sdpcm_cachesim::cache::AccessKind as CacheAccess;
-use sdpcm_cachesim::hierarchy::{CoreCaches, HierarchyConfig};
+use sdpcm_cachesim::hierarchy::CoreCaches;
+use sdpcm_engine::hash::FxHashMap;
 use sdpcm_engine::{Cycle, SimRng};
-use sdpcm_memctrl::{Access, AccessKind, CtrlConfig, MemoryController, ReqId};
+use sdpcm_memctrl::{Access, AccessKind, Completion, CtrlConfig, MemoryController, ReqId};
 use sdpcm_osalloc::{NmAllocator, PageTable};
 use sdpcm_pcm::geometry::{LineAddr, PageId};
 use sdpcm_trace::addr::{AddressStream, LINES_PER_PAGE};
-use sdpcm_trace::{BenchKind, Workload};
+use sdpcm_trace::{BenchKind, ToggleMask, Workload};
 
 use crate::config::{ExperimentParams, Scheme};
 use crate::error::{MapError, SdpcmError, SimError};
+use crate::hiertrace::{HierTrace, HierTraceMeta};
 use crate::metrics::RunStats;
+
+pub use crate::hiertrace::HierEvent;
 
 /// Knobs specific to hierarchy mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +54,7 @@ pub struct HierarchyParams {
     pub store_fraction: f64,
     /// The cache stack (Table 2 by default; shrink for tests so misses
     /// actually reach PCM).
-    pub caches: HierarchyConfig,
+    pub caches: sdpcm_cachesim::hierarchy::HierarchyConfig,
 }
 
 impl HierarchyParams {
@@ -51,7 +65,7 @@ impl HierarchyParams {
             accesses_per_core: 1_500,
             insts_per_access: 3,
             store_fraction: 0.3,
-            caches: HierarchyConfig::tiny(),
+            caches: sdpcm_cachesim::hierarchy::HierarchyConfig::tiny(),
         }
     }
 
@@ -62,15 +76,30 @@ impl HierarchyParams {
             accesses_per_core: 100_000,
             insts_per_access: 3,
             store_fraction: 0.3,
-            caches: HierarchyConfig::table2(),
+            caches: sdpcm_cachesim::hierarchy::HierarchyConfig::table2(),
         }
     }
 }
 
+/// Where a core's cache-level outcomes come from.
+enum HSource {
+    /// Simulate the cache stack inline.
+    Live {
+        stream: AddressStream,
+        caches: Box<CoreCaches>,
+        rng: SimRng,
+    },
+    /// Walk this core's slice of the shared [`HierTrace`].
+    Replay {
+        /// Next event index.
+        pos: usize,
+        /// Whether the current event's leading gap has been applied.
+        gap_done: bool,
+    },
+}
+
 struct HCore {
-    stream: AddressStream,
-    caches: CoreCaches,
-    rng: SimRng,
+    src: HSource,
     ready_at: Cycle,
     accesses_done: u64,
     instructions: u64,
@@ -104,7 +133,9 @@ pub struct HierarchySim {
     ctrl: MemoryController,
     cores: Vec<HCore>,
     tables: Vec<PageTable>,
-    inflight: HashMap<ReqId, usize>,
+    trace: Option<Arc<HierTrace>>,
+    inflight: FxHashMap<ReqId, usize>,
+    done_scratch: Vec<Completion>,
     next_id: u64,
     pcm_fills: u64,
     pcm_writebacks: u64,
@@ -115,6 +146,7 @@ impl std::fmt::Debug for HierarchySim {
         f.debug_struct("HierarchySim")
             .field("scheme", &self.scheme.name)
             .field("workload", &self.workload_name)
+            .field("replay", &self.trace.is_some())
             .finish()
     }
 }
@@ -130,9 +162,99 @@ impl HierarchySim {
         hparams: &HierarchyParams,
     ) -> Result<HierarchySim, SdpcmError> {
         let workload = Workload::homogeneous(bench);
+        let (ctrl, tables, mut rng) = HierarchySim::build_backend(&scheme, &workload, params)?;
+        let cores = workload
+            .profiles()
+            .iter()
+            .enumerate()
+            .map(|(core, profile)| HCore {
+                src: HSource::Live {
+                    stream: AddressStream::new(
+                        profile.pattern,
+                        profile.ws_pages,
+                        rng.derive(&format!("hier-addr{core}")),
+                    ),
+                    caches: Box::new(CoreCaches::new(hparams.caches)),
+                    rng: rng.derive(&format!("hier-core{core}")),
+                },
+                ready_at: Cycle::ZERO,
+                accesses_done: 0,
+                instructions: 0,
+                blocked_on: None,
+                finish: None,
+            })
+            .collect();
+        Ok(HierarchySim::assemble(
+            scheme, &workload, hparams, ctrl, tables, cores, None,
+        ))
+    }
+
+    /// Builds the system over a captured front-end trace: the same
+    /// backend, but cache outcomes replay from `trace` instead of being
+    /// re-simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TraceMismatch`] when the trace was captured
+    /// for different inputs than this run, plus everything
+    /// [`HierarchySim::build`] reports.
+    pub fn build_replay(
+        scheme: Scheme,
+        bench: BenchKind,
+        params: &ExperimentParams,
+        hparams: &HierarchyParams,
+        trace: &Arc<HierTrace>,
+    ) -> Result<HierarchySim, SdpcmError> {
+        let expect = HierTraceMeta::for_run(bench, params, hparams);
+        if trace.meta != expect {
+            return Err(SimError::TraceMismatch {
+                expect: format!("{:016x} ({})", expect.content_key(), expect.workload),
+                got: format!(
+                    "{:016x} ({})",
+                    trace.meta.content_key(),
+                    trace.meta.workload
+                ),
+            }
+            .into());
+        }
+        let workload = Workload::homogeneous(bench);
+        let (ctrl, tables, _rng) = HierarchySim::build_backend(&scheme, &workload, params)?;
+        let cores = (0..trace.per_core.len())
+            .map(|_| HCore {
+                src: HSource::Replay {
+                    pos: 0,
+                    gap_done: false,
+                },
+                ready_at: Cycle::ZERO,
+                accesses_done: 0,
+                instructions: 0,
+                blocked_on: None,
+                finish: None,
+            })
+            .collect();
+        Ok(HierarchySim::assemble(
+            scheme,
+            &workload,
+            hparams,
+            ctrl,
+            tables,
+            cores,
+            Some(trace.clone()),
+        ))
+    }
+
+    /// Validates parameters, builds the controller, and maps every
+    /// core's working set. Returns the parent RNG *after* the controller
+    /// stream has been derived — the point [`HierTrace::capture`]
+    /// mirrors before deriving the per-core front-end streams.
+    fn build_backend(
+        scheme: &Scheme,
+        workload: &Workload,
+        params: &ExperimentParams,
+    ) -> Result<(MemoryController, Vec<PageTable>, SimRng), SdpcmError> {
         params.validate()?;
         let mut rng = SimRng::from_seed_label(params.seed, "hier-system");
-        let geometry = params.geometry_for(&workload, scheme.ratio)?;
+        let geometry = params.geometry_for(workload, scheme.ratio)?;
         let cfg = CtrlConfig {
             write_queue_cap: params.write_queue_cap,
             ecp_entries: params.ecp_entries,
@@ -142,7 +264,6 @@ impl HierarchySim {
 
         let mut os = NmAllocator::new(geometry.total_pages());
         let mut tables = Vec::new();
-        let mut cores = Vec::new();
         for (core, pages) in workload.pages_per_core().into_iter().enumerate() {
             let frames = os
                 .alloc_pages(scheme.ratio, pages)
@@ -152,35 +273,34 @@ impl HierarchySim {
                 table.map(vpage as u64, frame, scheme.ratio);
             }
             tables.push(table);
-            let profile = workload.profiles()[core];
-            cores.push(HCore {
-                stream: AddressStream::new(
-                    profile.pattern,
-                    profile.ws_pages,
-                    rng.derive(&format!("hier-addr{core}")),
-                ),
-                caches: CoreCaches::new(hparams.caches),
-                rng: rng.derive(&format!("hier-core{core}")),
-                ready_at: Cycle::ZERO,
-                accesses_done: 0,
-                instructions: 0,
-                blocked_on: None,
-                finish: None,
-            });
         }
+        Ok((ctrl, tables, rng))
+    }
 
-        Ok(HierarchySim {
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        scheme: Scheme,
+        workload: &Workload,
+        hparams: &HierarchyParams,
+        ctrl: MemoryController,
+        tables: Vec<PageTable>,
+        cores: Vec<HCore>,
+        trace: Option<Arc<HierTrace>>,
+    ) -> HierarchySim {
+        HierarchySim {
             scheme,
             workload_name: workload.name().to_owned(),
             hparams: *hparams,
             ctrl,
             cores,
             tables,
-            inflight: HashMap::new(),
+            trace,
+            inflight: FxHashMap::default(),
+            done_scratch: Vec::new(),
             next_id: 0,
             pcm_fills: 0,
             pcm_writebacks: 0,
-        })
+        }
     }
 
     /// The controller (diagnostics).
@@ -209,14 +329,20 @@ impl HierarchySim {
         Ok(LineAddr { bank, row, slot })
     }
 
-    fn submit_writeback(&mut self, core: usize, vline: u64, now: Cycle) -> Result<(), SdpcmError> {
+    /// Posts a dirty write-back whose payload is the line's newest
+    /// architectural value with `mask` applied — the single payload
+    /// path both the live and the replay front end go through.
+    fn submit_writeback_mask(
+        &mut self,
+        core: usize,
+        vline: u64,
+        mask: &ToggleMask,
+        now: Cycle,
+    ) -> Result<(), SdpcmError> {
         let addr = self.translate(core, vline)?;
-        let mut data = self.ctrl.latest_architectural(addr);
-        // A dirty line differs from memory in a few dozen cells.
-        for _ in 0..48 {
-            let b = self.cores[core].rng.index(512);
-            let v = data.bit(b);
-            data.set_bit(b, !v);
+        let mut words = *self.ctrl.latest_architectural(addr).words();
+        for (w, m) in words.iter_mut().zip(mask) {
+            *w ^= m;
         }
         let id = ReqId(self.next_id);
         self.next_id += 1;
@@ -225,7 +351,7 @@ impl HierarchySim {
             Access {
                 id,
                 addr,
-                kind: AccessKind::Write(data),
+                kind: AccessKind::Write(sdpcm_pcm::line::LineBuf::from_words(words)),
                 ratio: self.scheme.ratio,
                 core: core as u8,
                 arrive: now,
@@ -266,19 +392,25 @@ impl HierarchySim {
                 return Err(self.livelock(now));
             }
 
-            for done in self.ctrl.advance(now)? {
+            let mut done_buf = std::mem::take(&mut self.done_scratch);
+            self.ctrl.advance_into(now, &mut done_buf)?;
+            for done in &done_buf {
                 if let Some(core) = self.inflight.remove(&done.id) {
                     self.cores[core].blocked_on = None;
                     self.cores[core].ready_at = done.at;
                 }
             }
+            self.done_scratch = done_buf;
 
             for core in 0..self.cores.len() {
                 let c = &self.cores[core];
                 if c.finish.is_some() || c.blocked_on.is_some() || c.ready_at > now {
                     continue;
                 }
-                self.step_core(core, now, quota)?;
+                match c.src {
+                    HSource::Live { .. } => self.step_core_live(core, now, quota)?,
+                    HSource::Replay { .. } => self.step_core_replay(core, now, quota)?,
+                }
             }
         }
 
@@ -286,7 +418,9 @@ impl HierarchySim {
         let end = Cycle(self.total_cycles());
         self.ctrl.drain_all(end);
         while let Some(t) = self.ctrl.next_event() {
-            let _ = self.ctrl.advance(t)?;
+            let mut done_buf = std::mem::take(&mut self.done_scratch);
+            self.ctrl.advance_into(t, &mut done_buf)?;
+            self.done_scratch = done_buf;
             self.ctrl.drain_all(t);
         }
 
@@ -313,31 +447,100 @@ impl HierarchySim {
         .into()
     }
 
-    fn step_core(&mut self, core: usize, now: Cycle, quota: u64) -> Result<(), SdpcmError> {
-        // One cache access.
-        let (vpage, slot) = self.cores[core].stream.next_line();
-        let vline = vpage * LINES_PER_PAGE + u64::from(slot);
+    fn step_core_live(&mut self, core: usize, now: Cycle, quota: u64) -> Result<(), SdpcmError> {
         let store_fraction = self.hparams.store_fraction;
-        let is_store = self.cores[core].rng.chance(store_fraction);
+        // One cache access.
+        let HSource::Live {
+            stream,
+            caches,
+            rng,
+        } = &mut self.cores[core].src
+        else {
+            unreachable!("live step on a replay core")
+        };
+        let (vpage, slot) = stream.next_line();
+        let vline = vpage * LINES_PER_PAGE + u64::from(slot);
+        let is_store = rng.chance(store_fraction);
         let kind = if is_store {
             CacheAccess::Write
         } else {
             CacheAccess::Read
         };
-        let out = self.cores[core].caches.access(vline, kind);
+        let out = caches.access(vline, kind);
 
-        // Dirty evictions become posted PCM writes.
-        let writebacks = out.pcm_writebacks.clone();
-        for wb in writebacks {
-            self.submit_writeback(core, wb, now)?;
+        // Dirty evictions become posted PCM writes; payloads are the
+        // newest architectural value XOR 48 per-core toggle draws.
+        let mut writebacks = Vec::new();
+        for &wb in &out.pcm_writebacks {
+            let mut mask = ToggleMask::default();
+            for _ in 0..48 {
+                let b = rng.index(512);
+                mask[b / 64] ^= 1 << (b % 64);
+            }
+            writebacks.push((wb, mask));
+        }
+        for (vline, mask) in &writebacks {
+            self.submit_writeback_mask(core, *vline, mask, now)?;
         }
 
         let c = &mut self.cores[core];
         c.accesses_done += 1;
         c.instructions += self.hparams.insts_per_access;
-        let after_caches = now + out.latency + Cycle(self.hparams.insts_per_access);
+        let after = now + out.latency + Cycle(self.hparams.insts_per_access);
+        self.finish_access(core, out.pcm_fill, after, quota)
+    }
 
-        if let Some(fill_line) = out.pcm_fill {
+    fn step_core_replay(&mut self, core: usize, now: Cycle, quota: u64) -> Result<(), SdpcmError> {
+        let trace = self
+            .trace
+            .clone()
+            .expect("replay cores carry a shared trace");
+        let ct = &trace.per_core[core];
+        let insts = self.hparams.insts_per_access;
+        let HSource::Replay { pos, gap_done } = &mut self.cores[core].src else {
+            unreachable!("replay step on a live core")
+        };
+        if *pos == ct.events.len() {
+            // Only cache-resident accesses remain: they never touch the
+            // controller, so their aggregate latency is the finish time.
+            let c = &mut self.cores[core];
+            c.accesses_done += ct.tail_absorbed;
+            c.instructions += ct.tail_absorbed * insts;
+            c.finish = Some(now + Cycle(ct.tail_gap));
+            return Ok(());
+        }
+        let ev = &ct.events[*pos];
+        if !*gap_done && ev.gap > 0 {
+            // Absorbed accesses before this event: advance the core
+            // without touching the controller.
+            *gap_done = true;
+            self.cores[core].ready_at = now + Cycle(ev.gap);
+            return Ok(());
+        }
+        *pos += 1;
+        *gap_done = false;
+
+        for (vline, mask) in &ev.writebacks {
+            self.submit_writeback_mask(core, *vline, mask, now)?;
+        }
+        let c = &mut self.cores[core];
+        c.accesses_done += ev.absorbed + 1;
+        c.instructions += (ev.absorbed + 1) * insts;
+        let after = now + Cycle(ev.latency) + Cycle(insts);
+        self.finish_access(core, ev.fill, after, quota)
+    }
+
+    /// The shared back half of one access: block on an L3-miss fill,
+    /// otherwise resume at `after`; retire the core when it reaches its
+    /// quota (a final fill is still submitted but no longer awaited).
+    fn finish_access(
+        &mut self,
+        core: usize,
+        fill: Option<u64>,
+        after: Cycle,
+        quota: u64,
+    ) -> Result<(), SdpcmError> {
+        if let Some(fill_line) = fill {
             // L3 miss: the core blocks on the PCM read.
             let addr = self.translate(core, fill_line)?;
             let id = ReqId(self.next_id);
@@ -352,15 +555,15 @@ impl HierarchySim {
                     kind: AccessKind::Read,
                     ratio: self.scheme.ratio,
                     core: core as u8,
-                    arrive: after_caches,
+                    arrive: after,
                 },
-                after_caches,
+                after,
             )?;
         } else {
-            self.cores[core].ready_at = after_caches;
+            self.cores[core].ready_at = after;
         }
         if self.cores[core].accesses_done >= quota {
-            self.cores[core].finish = Some(after_caches);
+            self.cores[core].finish = Some(after);
             self.cores[core].blocked_on = None;
             self.inflight.retain(|_, &mut c| c != core);
         }
@@ -438,5 +641,45 @@ mod tests {
         let (b, tb) = quick(Scheme::lazyc_preread(), BenchKind::Zeusmp);
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn replay_matches_inline_bit_for_bit() {
+        let params = ExperimentParams::quick_test();
+        let hparams = HierarchyParams::quick_test();
+        for bench in [BenchKind::Mcf, BenchKind::Wrf] {
+            let trace = HierTrace::capture(bench, &params, &hparams);
+            for scheme in [Scheme::baseline(), Scheme::lazyc_preread()] {
+                let mut inline =
+                    HierarchySim::build(scheme.clone(), bench, &params, &hparams).unwrap();
+                let a = inline.run().unwrap();
+                let mut replay =
+                    HierarchySim::build_replay(scheme, bench, &params, &hparams, &trace).unwrap();
+                let b = replay.run().unwrap();
+                assert_eq!(a, b, "stats must be bit-identical");
+                assert_eq!(inline.pcm_traffic(), replay.pcm_traffic());
+                assert_eq!(
+                    inline.controller().store().content_digest(),
+                    replay.controller().store().content_digest(),
+                    "device state must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_rejects_mismatched_trace() {
+        let params = ExperimentParams::quick_test();
+        let hparams = HierarchyParams::quick_test();
+        let trace = HierTrace::capture(BenchKind::Mcf, &params, &hparams);
+        let err = HierarchySim::build_replay(
+            Scheme::baseline(),
+            BenchKind::Wrf,
+            &params,
+            &hparams,
+            &trace,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("trace mismatch"), "{err}");
     }
 }

@@ -1,0 +1,418 @@
+//! Capture-once/replay-many traces for the hierarchy front end.
+//!
+//! A [`crate::hiersim::HierarchySim`] spends most of its time in the
+//! per-core cache stacks, yet everything the caches decide — which
+//! accesses miss to PCM, which dirty lines write back, each access's
+//! hierarchy latency — is *timing-independent*: the access stream, the
+//! store/load split and the write-back toggle draws all come from
+//! per-core RNGs advanced in program order, and the cache state is a
+//! pure function of the access sequence. A [`HierTrace`] records that
+//! front-end outcome once per `(bench, params, hierarchy params, seed)`
+//! and lets every scheme cell of a sweep replay it, skipping the cache
+//! simulation entirely.
+//!
+//! The trace is *coalesced*: runs of accesses that never touch PCM
+//! collapse into a single `gap` (their aggregate latency + instruction
+//! cycles), so replay also visits far fewer event-loop time points.
+//! The controller completes operations in global time order regardless
+//! of how often it is polled, so the coarser cadence leaves `RunStats`
+//! and the device digest bit-identical (see `DESIGN.md`).
+
+use std::sync::Arc;
+
+use sdpcm_cachesim::cache::AccessKind as CacheAccess;
+use sdpcm_cachesim::hierarchy::{CoreCaches, HierarchyConfig};
+use sdpcm_engine::SimRng;
+use sdpcm_trace::addr::{AddressStream, LINES_PER_PAGE};
+use sdpcm_trace::wire::{fnv1a, Reader, WireError, Writer};
+use sdpcm_trace::{BenchKind, ToggleMask, Workload, TRACE_SCHEMA_VERSION};
+
+use crate::config::ExperimentParams;
+use crate::hiersim::HierarchyParams;
+
+/// Magic bytes of the on-wire hierarchy-trace format.
+const MAGIC: &[u8; 4] = b"SDHT";
+
+/// One PCM-touching cache access of one core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierEvent {
+    /// Cycles consumed by the cache-resident accesses absorbed between
+    /// the previous event and this one (their latencies plus
+    /// `insts_per_access` each).
+    pub gap: u64,
+    /// How many accesses were absorbed into `gap`.
+    pub absorbed: u64,
+    /// This access's own hierarchy latency.
+    pub latency: u64,
+    /// Dirty L3 evictions this access caused: `(virtual line, payload
+    /// toggle mask)` in eviction order.
+    pub writebacks: Vec<(u64, ToggleMask)>,
+    /// The virtual line filled from PCM on an L3 miss.
+    pub fill: Option<u64>,
+}
+
+/// One core's coalesced event sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HierCoreTrace {
+    /// PCM-touching accesses, in program order.
+    pub events: Vec<HierEvent>,
+    /// Cycles of the cache-resident accesses after the last event.
+    pub tail_gap: u64,
+    /// How many accesses the tail absorbs.
+    pub tail_absorbed: u64,
+}
+
+/// What a [`HierTrace`] was captured for. Replay refuses a trace whose
+/// meta does not match the run being built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierTraceMeta {
+    /// Workload name (eight copies of one benchmark).
+    pub workload: String,
+    /// Seed the front-end RNG streams derive from.
+    pub seed: u64,
+    /// Cache accesses per core.
+    pub accesses_per_core: u64,
+    /// Instruction cycles between accesses.
+    pub insts_per_access: u64,
+    /// `store_fraction` as raw bits (exact, hashable).
+    pub store_fraction_bits: u64,
+    /// Fingerprint of the three cache levels' geometry and latency.
+    pub cache_fingerprint: u64,
+}
+
+impl HierTraceMeta {
+    /// The meta a run with these inputs captures (and demands).
+    #[must_use]
+    pub fn for_run(
+        bench: BenchKind,
+        params: &ExperimentParams,
+        hparams: &HierarchyParams,
+    ) -> HierTraceMeta {
+        HierTraceMeta {
+            workload: Workload::homogeneous(bench).name().to_owned(),
+            seed: params.seed,
+            accesses_per_core: hparams.accesses_per_core,
+            insts_per_access: hparams.insts_per_access,
+            store_fraction_bits: hparams.store_fraction.to_bits(),
+            cache_fingerprint: cache_fingerprint(&hparams.caches),
+        }
+    }
+
+    /// Stable content hash (includes the schema version), usable as an
+    /// on-disk cache key.
+    #[must_use]
+    pub fn content_key(&self) -> u64 {
+        let mut w = Writer::new();
+        w.put_u32(TRACE_SCHEMA_VERSION);
+        w.put_str(&self.workload);
+        w.put_u64(self.seed);
+        w.put_u64(self.accesses_per_core);
+        w.put_u64(self.insts_per_access);
+        w.put_u64(self.store_fraction_bits);
+        w.put_u64(self.cache_fingerprint);
+        fnv1a(&w.finish())
+    }
+}
+
+/// Hashes every structural field of the hierarchy configuration.
+fn cache_fingerprint(caches: &HierarchyConfig) -> u64 {
+    let mut w = Writer::new();
+    for c in [caches.l1, caches.l2, caches.l3] {
+        w.put_u64(c.size_bytes);
+        w.put_u32(c.ways);
+        w.put_u64(c.hit_latency.0);
+    }
+    fnv1a(&w.finish())
+}
+
+/// A captured hierarchy front-end trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierTrace {
+    /// What the trace was captured for.
+    pub meta: HierTraceMeta,
+    /// One coalesced sequence per core.
+    pub per_core: Vec<HierCoreTrace>,
+}
+
+impl HierTrace {
+    /// Runs the cache front end untimed and records every PCM-touching
+    /// access. Mirrors [`crate::hiersim::HierarchySim::build`]'s RNG
+    /// derivation chain exactly, so replaying the result is
+    /// bit-identical to inline simulation.
+    #[must_use]
+    pub fn capture(
+        bench: BenchKind,
+        params: &ExperimentParams,
+        hparams: &HierarchyParams,
+    ) -> Arc<HierTrace> {
+        let workload = Workload::homogeneous(bench);
+        let mut rng = SimRng::from_seed_label(params.seed, "hier-system");
+        // The controller consumes the first derived stream; discard it
+        // to stay aligned with the live build.
+        let _ = rng.derive("ctrl");
+        let mut per_core = Vec::new();
+        for (core, profile) in workload.profiles().iter().enumerate() {
+            let mut stream = AddressStream::new(
+                profile.pattern,
+                profile.ws_pages,
+                rng.derive(&format!("hier-addr{core}")),
+            );
+            let mut crng = rng.derive(&format!("hier-core{core}"));
+            let mut caches = CoreCaches::new(hparams.caches);
+            let mut trace = HierCoreTrace::default();
+            let mut gap = 0u64;
+            let mut absorbed = 0u64;
+            for _ in 0..hparams.accesses_per_core {
+                let (vpage, slot) = stream.next_line();
+                let vline = vpage * LINES_PER_PAGE + u64::from(slot);
+                let is_store = crng.chance(hparams.store_fraction);
+                let kind = if is_store {
+                    CacheAccess::Write
+                } else {
+                    CacheAccess::Read
+                };
+                let out = caches.access(vline, kind);
+                let mut writebacks = Vec::new();
+                for &wb in &out.pcm_writebacks {
+                    // Same 48 toggle draws the live write-back path
+                    // makes; duplicates cancel under XOR exactly as
+                    // repeated in-place flips do.
+                    let mut mask = ToggleMask::default();
+                    for _ in 0..48 {
+                        let b = crng.index(512);
+                        mask[b / 64] ^= 1 << (b % 64);
+                    }
+                    writebacks.push((wb, mask));
+                }
+                if out.pcm_fill.is_some() || !writebacks.is_empty() {
+                    trace.events.push(HierEvent {
+                        gap,
+                        absorbed,
+                        latency: out.latency.0,
+                        writebacks,
+                        fill: out.pcm_fill,
+                    });
+                    gap = 0;
+                    absorbed = 0;
+                } else {
+                    gap += out.latency.0 + hparams.insts_per_access;
+                    absorbed += 1;
+                }
+            }
+            trace.tail_gap = gap;
+            trace.tail_absorbed = absorbed;
+            per_core.push(trace);
+        }
+        Arc::new(HierTrace {
+            meta: HierTraceMeta {
+                workload: workload.name().to_owned(),
+                seed: params.seed,
+                accesses_per_core: hparams.accesses_per_core,
+                insts_per_access: hparams.insts_per_access,
+                store_fraction_bits: hparams.store_fraction.to_bits(),
+                cache_fingerprint: cache_fingerprint(&hparams.caches),
+            },
+            per_core,
+        })
+    }
+
+    /// Total PCM-touching events across all cores.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.per_core.iter().map(|c| c.events.len() as u64).sum()
+    }
+
+    /// Serializes the trace (versioned, digest-protected).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(MAGIC[0]);
+        w.put_u8(MAGIC[1]);
+        w.put_u8(MAGIC[2]);
+        w.put_u8(MAGIC[3]);
+        w.put_u32(TRACE_SCHEMA_VERSION);
+        w.put_str(&self.meta.workload);
+        w.put_u64(self.meta.seed);
+        w.put_u64(self.meta.accesses_per_core);
+        w.put_u64(self.meta.insts_per_access);
+        w.put_u64(self.meta.store_fraction_bits);
+        w.put_u64(self.meta.cache_fingerprint);
+        w.put_u32(self.per_core.len() as u32);
+        for core in &self.per_core {
+            w.put_u64(core.tail_gap);
+            w.put_u64(core.tail_absorbed);
+            w.put_u32(core.events.len() as u32);
+            for ev in &core.events {
+                w.put_u64(ev.gap);
+                w.put_u64(ev.absorbed);
+                w.put_u64(ev.latency);
+                match ev.fill {
+                    Some(v) => {
+                        w.put_u8(1);
+                        w.put_u64(v);
+                    }
+                    None => w.put_u8(0),
+                }
+                w.put_u16(ev.writebacks.len() as u16);
+                for (vline, mask) in &ev.writebacks {
+                    w.put_u64(*vline);
+                    for word in mask {
+                        w.put_u64(*word);
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a trace, rejecting corruption, truncation, trailing
+    /// garbage and other schema versions.
+    pub fn from_bytes(bytes: &[u8]) -> Result<HierTrace, WireError> {
+        let mut r = Reader::checked(bytes)?;
+        for expect in MAGIC {
+            if r.get_u8()? != *expect {
+                return Err(WireError::Malformed);
+            }
+        }
+        if r.get_u32()? != TRACE_SCHEMA_VERSION {
+            return Err(WireError::WrongSchema);
+        }
+        let meta = HierTraceMeta {
+            workload: r.get_str()?,
+            seed: r.get_u64()?,
+            accesses_per_core: r.get_u64()?,
+            insts_per_access: r.get_u64()?,
+            store_fraction_bits: r.get_u64()?,
+            cache_fingerprint: r.get_u64()?,
+        };
+        let cores = r.get_u32()? as usize;
+        if cores > 1024 {
+            return Err(WireError::Malformed);
+        }
+        let mut per_core = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let tail_gap = r.get_u64()?;
+            let tail_absorbed = r.get_u64()?;
+            let n = r.get_u32()? as usize;
+            let mut events = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let gap = r.get_u64()?;
+                let absorbed = r.get_u64()?;
+                let latency = r.get_u64()?;
+                let fill = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_u64()?),
+                    _ => return Err(WireError::Malformed),
+                };
+                let wbs = r.get_u16()? as usize;
+                let mut writebacks = Vec::with_capacity(wbs);
+                for _ in 0..wbs {
+                    let vline = r.get_u64()?;
+                    let mut mask = ToggleMask::default();
+                    for word in &mut mask {
+                        *word = r.get_u64()?;
+                    }
+                    writebacks.push((vline, mask));
+                }
+                events.push(HierEvent {
+                    gap,
+                    absorbed,
+                    latency,
+                    writebacks,
+                    fill,
+                });
+            }
+            per_core.push(HierCoreTrace {
+                events,
+                tail_gap,
+                tail_absorbed,
+            });
+        }
+        if !r.at_end() {
+            return Err(WireError::Malformed);
+        }
+        Ok(HierTrace { meta, per_core })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture_quick() -> Arc<HierTrace> {
+        HierTrace::capture(
+            BenchKind::Mcf,
+            &ExperimentParams::quick_test(),
+            &HierarchyParams::quick_test(),
+        )
+    }
+
+    #[test]
+    fn capture_accounts_every_access() {
+        let t = capture_quick();
+        let quota = HierarchyParams::quick_test().accesses_per_core;
+        assert_eq!(t.per_core.len(), 8);
+        for core in &t.per_core {
+            let events: u64 = core.events.len() as u64;
+            let absorbed: u64 = core.events.iter().map(|e| e.absorbed).sum();
+            assert_eq!(events + absorbed + core.tail_absorbed, quota);
+        }
+        assert!(t.total_events() > 0, "tiny caches must leak traffic");
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = capture_quick();
+        let b = capture_quick();
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let t = capture_quick();
+        let bytes = t.to_bytes();
+        let back = HierTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(*t, back);
+    }
+
+    #[test]
+    fn wire_rejects_corruption_and_stale_schema() {
+        let t = capture_quick();
+        let mut bytes = t.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            HierTrace::from_bytes(&bytes),
+            Err(WireError::DigestMismatch)
+        ));
+        assert!(matches!(
+            HierTrace::from_bytes(&t.to_bytes()[..10]),
+            Err(WireError::Truncated) | Err(WireError::DigestMismatch)
+        ));
+    }
+
+    #[test]
+    fn meta_key_separates_configurations() {
+        let p = ExperimentParams::quick_test();
+        let h = HierarchyParams::quick_test();
+        let a = HierTraceMeta::for_run(BenchKind::Mcf, &p, &h);
+        let b = HierTraceMeta::for_run(BenchKind::Wrf, &p, &h);
+        let mut h2 = h;
+        h2.accesses_per_core += 1;
+        let c = HierTraceMeta::for_run(BenchKind::Mcf, &p, &h2);
+        let mut h3 = h;
+        h3.caches = HierarchyConfig::table2();
+        let d = HierTraceMeta::for_run(BenchKind::Mcf, &p, &h3);
+        let keys = [
+            a.content_key(),
+            b.content_key(),
+            c.content_key(),
+            d.content_key(),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+}

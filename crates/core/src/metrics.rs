@@ -6,7 +6,7 @@ use sdpcm_pcm::wear::WearMeter;
 
 /// Everything a finished [`SystemSim`](crate::system::SystemSim) run
 /// reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Scheme name (figure label).
     pub scheme: String,

@@ -11,14 +11,16 @@
 //! and the page table carries the allocator tag that the TLB forwards to
 //! the memory controller with every request (Figure 9).
 
+use std::sync::Arc;
+
 use sdpcm_engine::hash::FxHashMap;
 use sdpcm_engine::{Cycle, SimRng};
-use sdpcm_memctrl::{Access, AccessKind, CtrlConfig, MemoryController, ReqId};
+use sdpcm_memctrl::{Access, AccessKind, Completion, CtrlConfig, MemoryController, ReqId};
 use sdpcm_osalloc::{NmAllocator, PageTable, Tlb};
 use sdpcm_pcm::geometry::LineAddr;
 use sdpcm_pcm::line::LineBuf;
 use sdpcm_pcm::wear::HardErrorModel;
-use sdpcm_trace::{BenchKind, MemRef, TraceGenerator, Workload};
+use sdpcm_trace::{BenchKind, RefSource, RefTrace, ToggleMask, TraceRef, Workload};
 
 use crate::config::{ExperimentParams, Scheme};
 use crate::error::{MapError, SdpcmError, SimError};
@@ -26,9 +28,10 @@ use crate::fault::FaultPlan;
 use crate::metrics::RunStats;
 
 struct Core {
-    gen: TraceGenerator,
+    /// Where references come from: live generation or trace replay.
+    src: RefSource,
     /// The next reference and the time the core is ready to issue it.
-    pending: Option<(MemRef, Cycle)>,
+    pending: Option<(TraceRef, Cycle)>,
     blocked_read: Option<ReqId>,
     refs_done: u64,
     instructions: u64,
@@ -44,7 +47,8 @@ pub struct SystemSim {
     cores: Vec<Core>,
     tables: Vec<PageTable>,
     tlbs: Vec<Tlb>,
-    payload_rng: SimRng,
+    /// Reusable completion buffer for the hot event loop.
+    done_scratch: Vec<Completion>,
     inflight: FxHashMap<ReqId, usize>,
     next_id: u64,
     reads_issued: u64,
@@ -81,6 +85,53 @@ impl SystemSim {
         workload: &Workload,
         params: &ExperimentParams,
     ) -> Result<SystemSim, SdpcmError> {
+        let (ctrl, mut rng) = SystemSim::build_backend(scheme, workload, params)?;
+        let sources = RefSource::live_sources(workload, &mut rng);
+        SystemSim::assemble(scheme, workload, params, ctrl, sources)
+    }
+
+    /// Builds the system over a previously captured reference trace:
+    /// identical backend and issue semantics, but references replay from
+    /// `trace` instead of being regenerated — the whole trace-generation
+    /// front end is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TraceMismatch`] when the trace was captured
+    /// for a different `(workload, seed, refs_per_core)` than `params`
+    /// asks for, plus everything [`SystemSim::build_workload`] reports.
+    pub fn build_replay(
+        scheme: &Scheme,
+        workload: &Workload,
+        params: &ExperimentParams,
+        trace: &Arc<RefTrace>,
+    ) -> Result<SystemSim, SdpcmError> {
+        let expect = format!(
+            "{}/{}/{}",
+            workload.name(),
+            params.seed,
+            params.refs_per_core
+        );
+        let got = format!(
+            "{}/{}/{}",
+            trace.meta.workload, trace.meta.seed, trace.meta.refs_per_core
+        );
+        if expect != got {
+            return Err(SimError::TraceMismatch { expect, got }.into());
+        }
+        let (ctrl, _rng) = SystemSim::build_backend(scheme, workload, params)?;
+        let sources = RefSource::replay_sources(trace);
+        SystemSim::assemble(scheme, workload, params, ctrl, sources)
+    }
+
+    /// Validates the parameters and builds the controller. Returns the
+    /// parent RNG *after* the controller stream has been derived — the
+    /// exact point [`RefTrace::capture`] mirrors.
+    fn build_backend(
+        scheme: &Scheme,
+        workload: &Workload,
+        params: &ExperimentParams,
+    ) -> Result<(MemoryController, SimRng), SdpcmError> {
         params.validate()?;
         let mut rng = SimRng::from_seed_label(params.seed, "system");
         let geometry = params.geometry_for(workload, scheme.ratio)?;
@@ -93,9 +144,20 @@ impl SystemSim {
         if let Some(age) = params.dimm_age {
             ctrl.set_dimm_age(HardErrorModel::default(), age);
         }
+        Ok((ctrl, rng))
+    }
 
+    /// Maps every core's working set and wires the reference sources to
+    /// the backend.
+    fn assemble(
+        scheme: &Scheme,
+        workload: &Workload,
+        params: &ExperimentParams,
+        ctrl: MemoryController,
+        sources: Vec<RefSource>,
+    ) -> Result<SystemSim, SdpcmError> {
         // OS: allocate and map every core's working set up front.
-        let mut os = NmAllocator::new(geometry.total_pages());
+        let mut os = NmAllocator::new(ctrl.store().geometry().total_pages());
         let mut tables = Vec::new();
         let mut tlbs = Vec::new();
         for (core, pages) in workload.pages_per_core().into_iter().enumerate() {
@@ -110,14 +172,13 @@ impl SystemSim {
             tlbs.push(Tlb::new(64));
         }
 
-        let cores = workload
-            .generators(rng.derive("traces"))
+        let cores = sources
             .into_iter()
-            .map(|mut gen| {
-                let first = gen.next_ref();
+            .map(|mut src| {
+                let first = src.next_ref();
                 let ready = Cycle(first.gap);
                 Core {
-                    gen,
+                    src,
                     pending: Some((first, ready)),
                     blocked_read: None,
                     refs_done: 0,
@@ -135,7 +196,7 @@ impl SystemSim {
             cores,
             tables,
             tlbs,
-            payload_rng: rng.derive("payloads"),
+            done_scratch: Vec::new(),
             inflight: FxHashMap::default(),
             next_id: 0,
             reads_issued: 0,
@@ -170,20 +231,16 @@ impl SystemSim {
         Ok(LineAddr { bank, row, slot })
     }
 
-    /// Synthesizes a write payload: flip `flips` distinct bits of the
-    /// line's newest architectural value.
-    fn payload(&mut self, addr: LineAddr, flips: u16) -> LineBuf {
-        let mut data = self.ctrl.latest_architectural(addr);
-        let mut flipped = 0u16;
-        let mut guard = 0u32;
-        while flipped < flips && guard < 10_000 {
-            let bit = self.payload_rng.index(512);
-            guard += 1;
-            let cur = data.bit(bit);
-            data.set_bit(bit, !cur);
-            flipped += 1;
+    /// Synthesizes a write payload: the line's newest architectural
+    /// value with the reference's recorded toggle mask applied. Both the
+    /// live and the replay path go through here, so payloads are
+    /// bit-identical between them by construction.
+    fn payload(&mut self, addr: LineAddr, mask: &ToggleMask) -> LineBuf {
+        let mut words = *self.ctrl.latest_architectural(addr).words();
+        for (w, m) in words.iter_mut().zip(mask) {
+            *w ^= m;
         }
-        data
+        LineBuf::from_words(words)
     }
 
     /// Runs the simulation to completion and reports the statistics.
@@ -225,7 +282,9 @@ impl SystemSim {
 
             // Deliver controller completions first: they may unblock
             // cores whose next issue is also at `now`.
-            for done in self.ctrl.advance(now)? {
+            let mut done_buf = std::mem::take(&mut self.done_scratch);
+            self.ctrl.advance_into(now, &mut done_buf)?;
+            for done in &done_buf {
                 if done.was_write {
                     continue;
                 }
@@ -235,6 +294,7 @@ impl SystemSim {
                 self.cores[core].blocked_read = None;
                 self.next_ref(core, done.at, quota);
             }
+            self.done_scratch = done_buf;
 
             // Issue everything that is ready.
             for core in 0..self.cores.len() {
@@ -252,10 +312,12 @@ impl SystemSim {
         // full reference stream (not counted toward execution time).
         let end = self.ctrl.next_event().unwrap_or(Cycle(self.total_cycles()));
         self.ctrl.drain_all(end);
+        let mut done_buf = std::mem::take(&mut self.done_scratch);
         while let Some(t) = self.ctrl.next_event() {
-            let _ = self.ctrl.advance(t)?;
+            self.ctrl.advance_into(t, &mut done_buf)?;
             self.ctrl.drain_all(t);
         }
+        self.done_scratch = done_buf;
 
         Ok(RunStats {
             scheme: self.scheme.name.clone(),
@@ -305,7 +367,7 @@ impl SystemSim {
                 self.cores[core].pending = Some((r, retry));
                 return Ok(());
             }
-            let data = self.payload(addr, r.flip_bits);
+            let data = self.payload(addr, &r.mask);
             let id = self.fresh_id();
             self.writes_issued += 1;
             self.ctrl.submit(
@@ -314,7 +376,7 @@ impl SystemSim {
                     addr,
                     kind: AccessKind::Write(data),
                     ratio: self.scheme.ratio,
-                    core: r.core,
+                    core: core as u8,
                     arrive: now,
                 },
                 now,
@@ -332,7 +394,7 @@ impl SystemSim {
                     addr,
                     kind: AccessKind::Read,
                     ratio: self.scheme.ratio,
-                    core: r.core,
+                    core: core as u8,
                     arrive: now,
                 },
                 now,
@@ -353,7 +415,7 @@ impl SystemSim {
             c.pending = None;
             return;
         }
-        let r = c.gen.next_ref();
+        let r = c.src.next_ref();
         c.instructions += r.gap;
         c.pending = Some((r, at + Cycle(r.gap)));
     }

@@ -179,8 +179,17 @@ pub struct MemoryController {
     /// next `submit`/`advance`.
     pending_anomaly: Option<&'static str>,
     rng: SimRng,
-    /// Scratch: due-bank indices collected per `process_until` round.
-    due_scratch: Vec<usize>,
+    /// Cached earliest `busy_until` over banks with an operation in
+    /// flight, so the hot-loop [`MemoryController::next_event`] reads
+    /// O(1) instead of scanning every bank. Marked stale whenever an
+    /// operation leaves a bank (completion, cancellation) and
+    /// recomputed lazily on the next read.
+    bank_min: std::cell::Cell<Option<Cycle>>,
+    bank_min_stale: std::cell::Cell<bool>,
+    /// Cached earliest queued completion time (exact at all times:
+    /// pushes can only lower it, and [`MemoryController::advance_into`]
+    /// recomputes it after draining).
+    completion_min: std::cell::Cell<Option<Cycle>>,
     /// Scratch: word-line victims of the most recent injection.
     wl_scratch: Vec<u16>,
     /// Scratch: per-side bit-line victims of the most recent
@@ -264,7 +273,9 @@ impl MemoryController {
             recent_writes: VecDeque::new(),
             pending_anomaly: None,
             rng,
-            due_scratch: Vec::new(),
+            bank_min: std::cell::Cell::new(None),
+            bank_min_stale: std::cell::Cell::new(false),
+            completion_min: std::cell::Cell::new(None),
             wl_scratch: Vec::new(),
             bl_hits: [Vec::new(), Vec::new()],
         })
@@ -464,20 +475,48 @@ impl MemoryController {
 
     /// Earliest time anything observable happens: an in-flight bank
     /// operation completes or an already-scheduled completion (e.g. a
-    /// forwarded read) becomes due.
+    /// forwarded read) becomes due. O(1) — the event loops call this
+    /// every iteration, so both components are served from caches.
     #[must_use]
     pub fn next_event(&self) -> Option<Cycle> {
-        let bank = self
-            .banks
-            .iter()
-            .filter(|b| b.op.is_some())
-            .map(|b| b.busy_until)
-            .min();
-        let queued = self.completions.iter().map(|c| c.at).min();
+        let bank = self.bank_min_read();
+        let queued = self.completion_min.get();
         match (bank, queued) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
+    }
+
+    /// The cached earliest busy-bank time, recomputing it if stale.
+    fn bank_min_read(&self) -> Option<Cycle> {
+        if self.bank_min_stale.get() {
+            let m = self
+                .banks
+                .iter()
+                .filter(|b| b.op.is_some())
+                .map(|b| b.busy_until)
+                .min();
+            self.bank_min.set(m);
+            self.bank_min_stale.set(false);
+        }
+        self.bank_min.get()
+    }
+
+    /// Folds a newly-armed bank operation into the busy-time cache (a
+    /// new operation can only lower the minimum, so the cache stays
+    /// exact without a rescan).
+    fn note_armed(&self, until: Cycle) {
+        if !self.bank_min_stale.get() && self.bank_min.get().is_none_or(|m| until < m) {
+            self.bank_min.set(Some(until));
+        }
+    }
+
+    /// Queues a completion, keeping the earliest-completion cache exact.
+    fn push_completion(&mut self, c: Completion) {
+        if self.completion_min.get().is_none_or(|m| c.at < m) {
+            self.completion_min.set(Some(c.at));
+        }
+        self.completions.push(c);
     }
 
     /// Whether any queue or bank still holds work.
@@ -639,44 +678,68 @@ impl MemoryController {
     /// Surfaces any broken deep invariant as
     /// [`CtrlError::InternalAnomaly`] with a queue snapshot attached.
     pub fn advance(&mut self, now: Cycle) -> Result<Vec<Completion>, CtrlError> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MemoryController::advance`] draining into a caller-owned
+    /// scratch buffer so the event loops reuse one allocation across
+    /// iterations. `out` is cleared first; completions due by `now` are
+    /// moved into it in `(at, id)` order.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any broken deep invariant as
+    /// [`CtrlError::InternalAnomaly`] with a queue snapshot attached.
+    pub fn advance_into(&mut self, now: Cycle, out: &mut Vec<Completion>) -> Result<(), CtrlError> {
+        out.clear();
         self.process_until(now);
         self.take_anomaly(now)?;
-        let (ready, later): (Vec<Completion>, Vec<Completion>) =
-            self.completions.drain(..).partition(|c| c.at <= now);
-        self.completions = later;
-        let mut ready = ready;
-        ready.sort_by_key(|c| (c.at, c.id));
-        Ok(ready)
+        if self.completion_min.get().is_some_and(|m| m <= now) {
+            self.completions.retain(|c| {
+                if c.at <= now {
+                    out.push(*c);
+                    false
+                } else {
+                    true
+                }
+            });
+            out.sort_unstable_by_key(|c| (c.at, c.id));
+            self.completion_min
+                .set(self.completions.iter().map(|c| c.at).min());
+        }
+        Ok(())
     }
 
     /// Completes every bank operation due by `now` and re-dispatches.
     ///
-    /// Each round collects the due banks *before* processing any of them
-    /// (into a reusable scratch vector): completing a bank can make
-    /// another due, and folding that discovery into the same round would
-    /// change the cross-bank processing order — and with it the shared
-    /// RNG draw order.
+    /// Due operations are processed in global `(completion time, bank)`
+    /// order, one at a time. This makes the controller invariant to the
+    /// caller's advance cadence: whether the clock is driven in many
+    /// small steps (inline generation visits every core event) or a few
+    /// large ones (trace replay only visits PCM events), the cross-bank
+    /// processing order — and with it the shared RNG draw order — is
+    /// identical. Replay bit-identity depends on this.
     fn process_until(&mut self, now: Cycle) {
-        let mut due = std::mem::take(&mut self.due_scratch);
-        loop {
-            due.clear();
-            due.extend(
-                self.banks
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, b)| b.op.is_some() && b.busy_until <= now)
-                    .map(|(i, _)| i),
-            );
-            if due.is_empty() {
-                break;
-            }
-            for &i in &due {
-                let at = self.banks[i].busy_until;
-                self.complete_op(i, at);
-                self.dispatch(i, at);
-            }
+        // Fast path: nothing due (every submit lands here once).
+        if self.bank_min_read().is_none_or(|m| m > now) {
+            return;
         }
-        self.due_scratch = due;
+        loop {
+            let mut best: Option<(Cycle, usize)> = None;
+            for (i, b) in self.banks.iter().enumerate() {
+                if b.op.is_some()
+                    && b.busy_until <= now
+                    && best.is_none_or(|(t, _)| b.busy_until < t)
+                {
+                    best = Some((b.busy_until, i));
+                }
+            }
+            let Some((at, i)) = best else { break };
+            self.complete_op(i, at);
+            self.dispatch(i, at);
+        }
     }
 
     // ----- submission -----
@@ -692,7 +755,7 @@ impl MemoryController {
             self.stats
                 .read_latency_sketch
                 .record((at - access.arrive).0);
-            self.completions.push(Completion {
+            self.push_completion(Completion {
                 id: access.id,
                 at,
                 was_write: false,
@@ -729,7 +792,7 @@ impl MemoryController {
             self.stats
                 .read_latency_sketch
                 .record((at - access.arrive).0);
-            self.completions.push(Completion {
+            self.push_completion(Completion {
                 id: access.id,
                 at,
                 was_write: false,
@@ -749,7 +812,7 @@ impl MemoryController {
         if let Some(buf) = self.salvaged.get_mut(&access.addr) {
             *buf = data;
             self.stats.salvaged_writes.inc();
-            self.completions.push(Completion {
+            self.push_completion(Completion {
                 id: access.id,
                 at: now + self.cfg.forward_latency,
                 was_write: true,
@@ -764,7 +827,7 @@ impl MemoryController {
             .find(|e| e.access.addr == access.addr)
         {
             e.access.kind = AccessKind::Write(data);
-            self.completions.push(Completion {
+            self.push_completion(Completion {
                 id: access.id,
                 at: now,
                 was_write: true,
@@ -838,6 +901,7 @@ impl MemoryController {
                     let dur = self.step_duration(&mut job);
                     self.banks[bank].busy_until = now + dur;
                     self.banks[bank].op = Some(BankOp::Write(job));
+                    self.note_armed(now + dur);
                     return;
                 }
                 // Service one burst's worth of writes, then release the
@@ -861,6 +925,7 @@ impl MemoryController {
                 let dur = self.step_duration(&mut job);
                 self.banks[bank].busy_until = now + dur;
                 self.banks[bank].op = Some(BankOp::Write(job));
+                self.note_armed(now + dur);
                 return;
             }
             if b.write_q.len() >= self.cfg.write_queue_cap {
@@ -877,6 +942,7 @@ impl MemoryController {
     fn start_read(&mut self, bank: usize, access: Access, now: Cycle) {
         self.banks[bank].busy_until = now + self.cfg.timing.read;
         self.banks[bank].op = Some(BankOp::Read(access));
+        self.note_armed(self.banks[bank].busy_until);
     }
 
     fn start_write(&mut self, bank: usize, entry: WqEntry, now: Cycle) {
@@ -886,6 +952,7 @@ impl MemoryController {
         let dur = self.step_duration(&mut job);
         self.banks[bank].busy_until = now + dur;
         self.banks[bank].op = Some(BankOp::Write(Box::new(job)));
+        self.note_armed(now + dur);
     }
 
     /// Which neighbours of this write need verification: scheme VnC off →
@@ -933,6 +1000,7 @@ impl MemoryController {
         };
         self.banks[bank].busy_until = now + self.cfg.timing.read;
         self.banks[bank].op = Some(BankOp::IdlePreRead { write_line, side });
+        self.note_armed(self.banks[bank].busy_until);
         true
     }
 
@@ -973,6 +1041,7 @@ impl MemoryController {
         }
         match self.banks[bank].op.take() {
             Some(BankOp::Write(job)) => {
+                self.bank_min_stale.set(true);
                 self.stats.write_cancellations.inc();
                 self.banks[bank].write_q.push_front(job.entry);
                 self.banks[bank].busy_until = now;
@@ -1041,6 +1110,7 @@ impl MemoryController {
             self.note_anomaly("completion fired on an idle bank");
             return;
         };
+        self.bank_min_stale.set(true);
         match op {
             BankOp::Read(access) => {
                 self.stats.reads.inc();
@@ -1050,7 +1120,7 @@ impl MemoryController {
                     .record((at - access.arrive).0);
                 self.energy.charge_read(512, false);
                 let data = self.architectural_line(access.addr);
-                self.completions.push(Completion {
+                self.push_completion(Completion {
                     id: access.id,
                     at,
                     was_write: false,
@@ -1092,6 +1162,7 @@ impl MemoryController {
                     let dur = self.step_duration(&mut job);
                     self.banks[bank].busy_until = at + dur;
                     self.banks[bank].op = Some(BankOp::Write(job));
+                    self.note_armed(at + dur);
                 }
             }
         }
@@ -1175,7 +1246,7 @@ impl MemoryController {
                 self.store.ecp_mut(addr).clear_disturb();
                 job.committed = true;
                 self.stats.writes.inc();
-                self.completions.push(Completion {
+                self.push_completion(Completion {
                     id: job.entry.access.id,
                     at,
                     was_write: true,
@@ -1442,12 +1513,23 @@ impl MemoryController {
                 return false;
             }
         }
-        // Reconstruct the architectural content: raw array bits, minus the
-        // just-found disturbances (WD only flips 0 -> 1, so their correct
-        // value is 0), DIN-decoded when encoding is in force.
+        // Reconstruct the architectural content: raw array bits, minus
+        // every disturbance the controller knows about (WD only flips
+        // 0 -> 1, so their correct value is 0), DIN-decoded when encoding
+        // is in force. "Knows about" spans more than `new_errors`: the
+        // in-flight job (and a paused sibling) may still hold unserved
+        // fixes for this line — queued `Correction`/`EcpWrite` cells,
+        // cascade victims awaiting their verify, and injected-but-not-
+        // yet-post-read neighbour victims. Those steps are dropped below,
+        // so their cells must be cleansed here or the crystallized bits
+        // would be frozen into the salvage snapshot as data.
         let mut patched = self.store.read_line(line);
         for &bit in new_errors {
             patched.set_bit(bit as usize, false);
+        }
+        Self::cleanse_job_disturbances(&self.geometry, job, line, &mut patched);
+        if let Some(paused) = &self.banks[bank].paused {
+            Self::cleanse_job_disturbances(&self.geometry, paused, line, &mut patched);
         }
         let data = match &self.codec {
             Some(codec) => {
@@ -1481,7 +1563,7 @@ impl MemoryController {
             if let AccessKind::Write(d) = e.access.kind {
                 self.salvaged.insert(line, d);
             }
-            self.completions.push(Completion {
+            self.push_completion(Completion {
                 id: e.access.id,
                 at: at + self.cfg.forward_latency,
                 was_write: true,
@@ -1489,6 +1571,46 @@ impl MemoryController {
             });
         }
         true
+    }
+
+    /// Clears from `patched` every cell of `line` that `job` still
+    /// tracks as disturbed-but-unfixed: cells of queued corrections and
+    /// ECP records, cascade victims awaiting verification, and injected
+    /// bit-line victims whose post-read has not resolved yet. Used by
+    /// decommissioning to reconstruct the true architectural content.
+    fn cleanse_job_disturbances(
+        geometry: &MemGeometry,
+        job: &WriteJob,
+        line: LineAddr,
+        patched: &mut LineBuf,
+    ) {
+        for s in &job.steps {
+            match s {
+                Step::Correction { line: l, cells } | Step::EcpWrite { line: l, cells }
+                    if *l == line =>
+                {
+                    for &bit in cells {
+                        patched.set_bit(bit as usize, false);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (l, cells) in &job.cascade_pending {
+            if *l == line {
+                for &bit in cells {
+                    patched.set_bit(bit as usize, false);
+                }
+            }
+        }
+        let neighbors = geometry.bitline_neighbors(job.entry.access.addr);
+        for side in Side::BOTH {
+            if neighbors[side.idx()] == Some(line) {
+                for &bit in &job.injected[side.idx()] {
+                    patched.set_bit(bit as usize, false);
+                }
+            }
+        }
     }
 
     /// Records buffered-WD cells into a line's ECP table, charging the

@@ -20,6 +20,13 @@
 //!   `1000 / (RPKI + WPKI)` instructions between references.
 //! * [`workload`] — multi-programmed workloads: eight cores each running
 //!   one copy of a program in its own address space, as in §5.2.
+//! * [`reftrace`] — capture-once/replay-many: a [`reftrace::RefTrace`]
+//!   is the workload's post-cache reference stream recorded per core
+//!   (kind, virtual line, instruction gap, payload toggle mask), shared
+//!   by every scheme cell of a sweep instead of being regenerated.
+//! * [`wire`] — the hand-rolled little-endian serialization behind the
+//!   on-disk trace cache: length-prefixed fields, a schema version, and
+//!   a trailing FNV-1a digest that rejects corrupt or stale files.
 //!
 //! What the substitution preserves: relative read/write intensity, bank
 //! pressure, spatial locality class, and differential-write sizes — the
@@ -29,11 +36,14 @@
 pub mod addr;
 pub mod gen;
 pub mod profiles;
+pub mod reftrace;
 pub mod stream;
+pub mod wire;
 pub mod workload;
 
 pub use addr::{AccessPattern, AddressStream};
 pub use gen::{MemRef, TraceGenerator};
 pub use profiles::{BenchKind, BenchmarkProfile};
+pub use reftrace::{RefSource, RefTrace, ToggleMask, TraceMeta, TraceRef, TRACE_SCHEMA_VERSION};
 pub use stream::StreamKernels;
 pub use workload::Workload;

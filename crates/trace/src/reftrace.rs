@@ -1,0 +1,423 @@
+//! Capture-once/replay-many reference traces.
+//!
+//! Every figure in the paper compares 5–7 schemes on the *same*
+//! workload: the post-cache reference stream — per-core order of line
+//! addresses, read/write kinds, instruction gaps and write payloads —
+//! depends only on `(workload, seed, refs_per_core)`, never on the PCM
+//! scheme, which only affects *timing*. A [`RefTrace`] is the compact,
+//! immutable record of that stream, captured once and shared (via
+//! `Arc`) across every scheme cell of a sweep.
+//!
+//! # Why the stream is scheme-independent
+//!
+//! Three properties carry the determinism contract:
+//!
+//! * Per-core RNG streams. Addresses, kinds, gaps and payload toggles
+//!   are drawn from RNGs derived per core; a core's draw order is its
+//!   program order, which no scheme can perturb (schemes change *when*
+//!   a reference issues, never *whether* or *in what per-core order*).
+//! * Virtual addressing. Records hold `(vpage, slot)`; the physical
+//!   address depends on the scheme's allocation ratio and is translated
+//!   at replay time, per cell.
+//! * Payloads as toggle masks. A write's payload is "the line's newest
+//!   architectural value XOR a recorded toggle mask". The architectural
+//!   value evolves in per-core program order (cores own disjoint
+//!   address spaces), so both the inline and the replay path compute
+//!   bit-identical payloads at issue time without recording any
+//!   scheme-dependent device state.
+//!
+//! [`RefSource`] is the single front end the full-system simulator
+//! pulls from: `Live` draws from the generators (and is what capture
+//! drains), `Replay` walks a captured trace. Both yield byte-identical
+//! [`TraceRef`] sequences, which is what the golden replay tests pin.
+
+use std::sync::Arc;
+
+use sdpcm_engine::SimRng;
+
+use crate::gen::TraceGenerator;
+use crate::wire::{Reader, WireError, Writer};
+use crate::workload::Workload;
+
+/// Schema version of the on-disk trace format. Bump on any change to
+/// the record layout *or* to the generator/payload draw semantics —
+/// a stale file must never replay under new semantics.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Words in a 512-bit line toggle mask.
+pub const MASK_WORDS: usize = 8;
+
+/// XOR toggle mask over one 64 B line.
+pub type ToggleMask = [u64; MASK_WORDS];
+
+/// One recorded post-cache reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRef {
+    /// Instructions since the core's previous reference.
+    pub gap: u64,
+    /// Virtual page within the core's address space.
+    pub vpage: u64,
+    /// 64 B line slot within the page.
+    pub slot: u8,
+    /// `true` for a write-back to PCM.
+    pub is_write: bool,
+    /// For writes: payload = newest architectural value XOR this mask
+    /// (all-zero for reads).
+    pub mask: ToggleMask,
+}
+
+/// Identity of a captured trace — the capture inputs that fully
+/// determine its contents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceMeta {
+    /// Workload display name (eight copies of one benchmark, or a mix).
+    pub workload: String,
+    /// Master seed.
+    pub seed: u64,
+    /// References captured per core.
+    pub refs_per_core: u64,
+}
+
+impl TraceMeta {
+    /// Content hash of `(workload, seed, refs_per_core, schema)` — the
+    /// on-disk cache key. Stable across runs and platforms.
+    #[must_use]
+    pub fn content_key(&self) -> u64 {
+        let mut w = Writer::new();
+        w.put_u32(TRACE_SCHEMA_VERSION);
+        w.put_str(&self.workload);
+        w.put_u64(self.seed);
+        w.put_u64(self.refs_per_core);
+        crate::wire::fnv1a(&w.finish())
+    }
+}
+
+/// An immutable captured reference stream (one `Vec<TraceRef>` per
+/// core), shared across sweep cells behind an `Arc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefTrace {
+    /// Capture identity.
+    pub meta: TraceMeta,
+    /// Per-core reference sequences, in program order.
+    pub per_core: Vec<Vec<TraceRef>>,
+}
+
+impl RefTrace {
+    /// Captures the post-cache stream of `workload` by draining the
+    /// live generators — the PCM backend is never built. Mirrors the
+    /// full-system simulator's RNG derivation chain exactly, so a
+    /// `Live` source and a `Replay` of this capture yield identical
+    /// reference sequences.
+    #[must_use]
+    pub fn capture(workload: &Workload, seed: u64, refs_per_core: u64) -> RefTrace {
+        let mut rng = SimRng::from_seed_label(seed, "system");
+        // The live system derives its controller stream first; consume
+        // the same draw to keep the chain aligned.
+        let _ = rng.derive("ctrl");
+        let sources = RefSource::live_sources(workload, &mut rng);
+        let per_core = sources
+            .into_iter()
+            .map(|mut src| (0..refs_per_core).map(|_| src.next_ref()).collect())
+            .collect();
+        RefTrace {
+            meta: TraceMeta {
+                workload: workload.name().to_owned(),
+                seed,
+                refs_per_core,
+            },
+            per_core,
+        }
+    }
+
+    /// Total references across all cores.
+    #[must_use]
+    pub fn total_refs(&self) -> u64 {
+        self.per_core.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Serializes to the versioned on-disk format (magic, schema,
+    /// meta, per-core records, trailing FNV-1a digest).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(u32::from_le_bytes(*b"SDPT"));
+        w.put_u32(TRACE_SCHEMA_VERSION);
+        w.put_str(&self.meta.workload);
+        w.put_u64(self.meta.seed);
+        w.put_u64(self.meta.refs_per_core);
+        w.put_u32(self.per_core.len() as u32);
+        for core in &self.per_core {
+            w.put_u64(core.len() as u64);
+            for r in core {
+                w.put_u64(r.gap);
+                w.put_u64(r.vpage);
+                w.put_u8(r.slot);
+                w.put_u8(u8::from(r.is_write));
+                if r.is_write {
+                    for word in r.mask {
+                        w.put_u64(word);
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a trace file, rejecting corruption (bad digest,
+    /// truncation, trailing garbage) and schema mismatches.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RefTrace, WireError> {
+        let mut r = Reader::checked(bytes)?;
+        if r.get_u32()? != u32::from_le_bytes(*b"SDPT") {
+            return Err(WireError::WrongSchema);
+        }
+        if r.get_u32()? != TRACE_SCHEMA_VERSION {
+            return Err(WireError::WrongSchema);
+        }
+        let workload = r.get_str()?;
+        let seed = r.get_u64()?;
+        let refs_per_core = r.get_u64()?;
+        let cores = r.get_u32()? as usize;
+        if cores > 1024 {
+            return Err(WireError::Malformed);
+        }
+        let mut per_core = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let n = r.get_u64()? as usize;
+            if n > (1 << 32) {
+                return Err(WireError::Malformed);
+            }
+            let mut refs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let gap = r.get_u64()?;
+                let vpage = r.get_u64()?;
+                let slot = r.get_u8()?;
+                let is_write = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed),
+                };
+                let mut mask = [0u64; MASK_WORDS];
+                if is_write {
+                    for word in &mut mask {
+                        *word = r.get_u64()?;
+                    }
+                }
+                refs.push(TraceRef {
+                    gap,
+                    vpage,
+                    slot,
+                    is_write,
+                    mask,
+                });
+            }
+            per_core.push(refs);
+        }
+        if !r.at_end() {
+            return Err(WireError::Malformed);
+        }
+        Ok(RefTrace {
+            meta: TraceMeta {
+                workload,
+                seed,
+                refs_per_core,
+            },
+            per_core,
+        })
+    }
+}
+
+/// A per-core reference front end: live generation or trace replay.
+/// The full-system simulator pulls from this uniformly, so the replay
+/// path shares every line of issue/blocking logic with inline
+/// generation — bit-identity is structural, not coincidental.
+#[derive(Debug)]
+pub enum RefSource {
+    /// Draw from the generator; payload toggles come from a per-core
+    /// mask stream.
+    Live {
+        /// The core's reference generator.
+        gen: TraceGenerator,
+        /// The core's payload-toggle stream.
+        mask_rng: SimRng,
+    },
+    /// Walk a captured trace.
+    Replay {
+        /// The shared capture.
+        trace: Arc<RefTrace>,
+        /// Which core's sequence to walk.
+        core: usize,
+        /// Next record index.
+        pos: usize,
+    },
+}
+
+impl RefSource {
+    /// Builds the eight live per-core sources from the system's parent
+    /// RNG (after its controller stream has been derived). Capture uses
+    /// the same constructor, so the derive chain cannot drift between
+    /// the two paths.
+    #[must_use]
+    pub fn live_sources(workload: &Workload, rng: &mut SimRng) -> Vec<RefSource> {
+        let gens = workload.generators(rng.derive("traces"));
+        let mut payload_root = rng.derive("payloads");
+        gens.into_iter()
+            .enumerate()
+            .map(|(core, gen)| RefSource::Live {
+                gen,
+                mask_rng: payload_root.derive(&format!("core{core}")),
+            })
+            .collect()
+    }
+
+    /// Builds per-core replay sources over a shared capture.
+    #[must_use]
+    pub fn replay_sources(trace: &Arc<RefTrace>) -> Vec<RefSource> {
+        (0..trace.per_core.len())
+            .map(|core| RefSource::Replay {
+                trace: Arc::clone(trace),
+                core,
+                pos: 0,
+            })
+            .collect()
+    }
+
+    /// The next reference of this core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a replay source is pulled past the end of its
+    /// recorded sequence (the consumer's quota must match the capture).
+    pub fn next_ref(&mut self) -> TraceRef {
+        match self {
+            RefSource::Live { gen, mask_rng } => {
+                let r = gen.next_ref();
+                let mut mask = [0u64; MASK_WORDS];
+                if r.is_write {
+                    // `flip_bits` toggle draws; duplicate positions
+                    // cancel, exactly like repeated in-place bit flips.
+                    for _ in 0..r.flip_bits {
+                        let bit = mask_rng.index(512);
+                        mask[bit / 64] ^= 1u64 << (bit % 64);
+                    }
+                }
+                TraceRef {
+                    gap: r.gap,
+                    vpage: r.vpage,
+                    slot: r.slot,
+                    is_write: r.is_write,
+                    mask,
+                }
+            }
+            RefSource::Replay { trace, core, pos } => {
+                let refs = &trace.per_core[*core];
+                let r = refs
+                    .get(*pos)
+                    .copied()
+                    .unwrap_or_else(|| panic!("core {core} replay exhausted at {pos}"));
+                *pos += 1;
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::BenchKind;
+
+    fn capture_small() -> RefTrace {
+        RefTrace::capture(&Workload::homogeneous(BenchKind::Mcf), 0x5d9c, 200)
+    }
+
+    #[test]
+    fn live_and_replay_sources_agree() {
+        let workload = Workload::homogeneous(BenchKind::Lbm);
+        let trace = Arc::new(RefTrace::capture(&workload, 42, 300));
+        let mut rng = SimRng::from_seed_label(42, "system");
+        let _ = rng.derive("ctrl");
+        let mut live = RefSource::live_sources(&workload, &mut rng);
+        let mut replay = RefSource::replay_sources(&trace);
+        for core in 0..live.len() {
+            for i in 0..300 {
+                let a = live[core].next_ref();
+                let b = replay[core].next_ref();
+                assert_eq!(a, b, "core {core} ref {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn capture_is_deterministic_and_seed_sensitive() {
+        let a = capture_small();
+        let b = capture_small();
+        assert_eq!(a, b);
+        let c = RefTrace::capture(&Workload::homogeneous(BenchKind::Mcf), 0x5d9d, 200);
+        assert_ne!(a, c);
+        assert_ne!(a.meta.content_key(), c.meta.content_key());
+    }
+
+    #[test]
+    fn masks_zero_for_reads_nonzero_for_typical_writes() {
+        let t = capture_small();
+        let mut writes = 0u64;
+        for r in t.per_core.iter().flatten() {
+            if r.is_write {
+                writes += 1;
+                assert!(
+                    r.mask.iter().any(|&w| w != 0),
+                    "a multi-bit store should toggle at least one bit"
+                );
+            } else {
+                assert_eq!(r.mask, [0u64; MASK_WORDS]);
+            }
+        }
+        assert!(writes > 0);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let t = capture_small();
+        let bytes = t.to_bytes();
+        let back = RefTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn corruption_and_schema_drift_are_rejected() {
+        let t = capture_small();
+        let mut bytes = t.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            RefTrace::from_bytes(&bytes),
+            Err(WireError::DigestMismatch)
+        ));
+        // A stale schema version re-digested to pass the integrity check
+        // must still be rejected.
+        let mut stale = t.to_bytes();
+        stale.truncate(stale.len() - 8);
+        stale[4..8].copy_from_slice(&(TRACE_SCHEMA_VERSION + 1).to_le_bytes());
+        let digest = crate::wire::fnv1a(&stale);
+        stale.extend_from_slice(&digest.to_le_bytes());
+        assert!(matches!(
+            RefTrace::from_bytes(&stale),
+            Err(WireError::WrongSchema)
+        ));
+    }
+
+    #[test]
+    fn replay_past_end_panics() {
+        let trace = Arc::new(RefTrace::capture(
+            &Workload::homogeneous(BenchKind::Wrf),
+            7,
+            5,
+        ));
+        let mut src = RefSource::replay_sources(&trace);
+        for _ in 0..5 {
+            let _ = src[0].next_ref();
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| src[0].next_ref()));
+        assert!(r.is_err());
+    }
+}

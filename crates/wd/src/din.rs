@@ -18,7 +18,7 @@
 //! programmed cells and then toward the old flag (to avoid gratuitous
 //! group rewrites).
 
-use sdpcm_pcm::line::{DiffMask, LineBuf, LINE_BITS};
+use sdpcm_pcm::line::{LineBuf, LINE_BITS};
 
 /// Per-group inversion flags of one encoded line (up to 64 groups).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -107,6 +107,13 @@ impl DinCodec {
 
     /// Encodes `plain` for storage over the currently stored (encoded)
     /// bits `stored_old`, returning the new encoded bits and flags.
+    ///
+    /// Word-parallel implementation: each candidate's score touches only
+    /// the group's words plus one carry bit per side, so a full-line
+    /// encode costs a few dozen word operations instead of the naive
+    /// per-bit sweep (this sits on the per-write hot path of every DIN
+    /// scheme). Decisions and tie-breaks are bit-identical to the
+    /// straightforward per-bit scorer (see the equivalence test).
     #[must_use]
     pub fn encode(
         &self,
@@ -114,42 +121,72 @@ impl DinCodec {
         stored_old: &LineBuf,
         old_flags: DinFlags,
     ) -> (LineBuf, DinFlags) {
-        let mut encoded = *stored_old;
+        let old = stored_old.words();
+        let pw = plain.words();
+        let mut enc = *old;
         let mut flags = DinFlags::default();
         for g in 0..self.groups() {
             let lo = g * self.group_bits;
             let hi = lo + self.group_bits;
+            // Victim window [wlo, whi): one bit into the previous
+            // (decided) group and one past the group's end.
+            let wlo = lo.saturating_sub(1);
+            let whi = (hi + 1).min(LINE_BITS);
+            // Words whose bits the score can touch: the deepest needed
+            // bit is `lo - 2` (left reset neighbour of the window's
+            // first bit); everything right of `hi` is still identical
+            // to `stored_old`, so its diff is zero.
+            let w0 = lo.saturating_sub(2) / 64;
+            let w1 = (whi - 1) / 64;
 
-            let mut best: Option<(usize, u32, bool)> = None; // (victims, programmed, flag)
+            let mut best: Option<(u32, u32, bool)> = None;
             for flag in [false, true] {
-                // Candidate stored bits for this group.
-                let mut cand = encoded;
-                for b in lo..hi {
-                    cand.set_bit(b, plain.bit(b) ^ flag);
+                let inv = if flag { u64::MAX } else { 0 };
+                // Diff RESET bits per word, shifted by one index so the
+                // carry reads below never go out of bounds.
+                let mut reset = [0u64; LINE_BITS / 64 + 2];
+                let mut cand = [0u64; LINE_BITS / 64];
+                for w in w0..=w1 {
+                    let gmask = word_mask(w, lo, hi);
+                    let c = (enc[w] & !gmask) | ((pw[w] ^ inv) & gmask);
+                    cand[w] = c;
+                    reset[w + 1] = old[w] & !c;
                 }
-                let score = group_score(&cand, stored_old, lo, hi);
+                let mut victims = 0u32;
+                let mut programmed = 0u32;
+                for w in w0..=w1 {
+                    let prog = old[w] ^ cand[w];
+                    // reset(b-1) / reset(b+1) for every bit of the word.
+                    let left = (reset[w + 1] << 1) | (reset[w] >> 63);
+                    let right = (reset[w + 1] >> 1) | (reset[w + 2] << 63);
+                    let vul = !prog & !cand[w] & (left | right) & word_mask(w, wlo, whi);
+                    victims += vul.count_ones();
+                    programmed += (prog & word_mask(w, lo, hi)).count_ones();
+                }
                 let better = match &best {
                     None => true,
                     Some((v, p, f)) => {
-                        score.0 < *v
-                            || (score.0 == *v && score.1 < *p)
-                            || (score.0 == *v
-                                && score.1 == *p
+                        victims < *v
+                            || (victims == *v && programmed < *p)
+                            || (victims == *v
+                                && programmed == *p
                                 && *f != old_flags.inverted(g)
                                 && flag == old_flags.inverted(g))
                     }
                 };
                 if better {
-                    best = Some((score.0, score.1, flag));
+                    best = Some((victims, programmed, flag));
                 }
             }
             let (_, _, flag) = best.expect("two candidates evaluated");
-            for b in lo..hi {
-                encoded.set_bit(b, plain.bit(b) ^ flag);
+            let inv = if flag { u64::MAX } else { 0 };
+            for w in lo / 64..=(hi - 1) / 64 {
+                let gmask = word_mask(w, lo, hi);
+                enc[w] = (enc[w] & !gmask) | ((pw[w] ^ inv) & gmask);
             }
             flags = flags.with(g, flag);
         }
-        (encoded, flags)
+        (LineBuf::from_words(enc), flags)
     }
 
     /// Decodes stored (encoded) bits back to plain data.
@@ -174,31 +211,21 @@ impl Default for DinCodec {
     }
 }
 
-/// Scores a candidate: `(word-line victims overlapping [lo, hi], cells
-/// programmed in [lo, hi])`. The victim window extends one bit each side
-/// so boundary interactions with the previously decided group count.
-fn group_score(cand: &LineBuf, stored_old: &LineBuf, lo: usize, hi: usize) -> (usize, u32) {
-    let diff = DiffMask::between(stored_old, cand);
-    let wlo = lo.saturating_sub(1);
-    let whi = (hi + 1).min(LINE_BITS);
-    let mut victims = 0usize;
-    for bit in wlo..whi {
-        if diff.is_programmed(bit) || cand.bit(bit) {
-            continue;
-        }
-        let left = bit > 0 && diff.is_reset(bit - 1);
-        let right = bit + 1 < LINE_BITS && diff.is_reset(bit + 1);
-        if left || right {
-            victims += 1;
-        }
+/// The bits of half-open range `[a, b)` that fall inside word `w`, as a
+/// mask over that word.
+fn word_mask(w: usize, a: usize, b: usize) -> u64 {
+    let start = a.max(w * 64);
+    let end = b.min(w * 64 + 64);
+    if start >= end {
+        return 0;
     }
-    let mut programmed = 0u32;
-    for bit in lo..hi {
-        if diff.is_programmed(bit) {
-            programmed += 1;
-        }
-    }
-    (victims, programmed)
+    let len = end - start;
+    let ones = if len == 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    };
+    ones << (start - w * 64)
 }
 
 #[cfg(test)]
@@ -206,6 +233,105 @@ mod tests {
     use super::*;
     use crate::pattern::wordline_vulnerable_count;
     use sdpcm_engine::SimRng;
+    use sdpcm_pcm::line::DiffMask;
+
+    /// The straightforward per-bit encoder the word-parallel
+    /// [`DinCodec::encode`] must match decision-for-decision.
+    fn encode_reference(
+        codec: &DinCodec,
+        plain: &LineBuf,
+        stored_old: &LineBuf,
+        old_flags: DinFlags,
+    ) -> (LineBuf, DinFlags) {
+        fn group_score(cand: &LineBuf, stored_old: &LineBuf, lo: usize, hi: usize) -> (u32, u32) {
+            let diff = DiffMask::between(stored_old, cand);
+            let mut victims = 0;
+            for bit in lo.saturating_sub(1)..(hi + 1).min(LINE_BITS) {
+                if diff.is_programmed(bit) || cand.bit(bit) {
+                    continue;
+                }
+                let left = bit > 0 && diff.is_reset(bit - 1);
+                let right = bit + 1 < LINE_BITS && diff.is_reset(bit + 1);
+                if left || right {
+                    victims += 1;
+                }
+            }
+            let mut programmed = 0;
+            for bit in lo..hi {
+                if diff.is_programmed(bit) {
+                    programmed += 1;
+                }
+            }
+            (victims, programmed)
+        }
+
+        let mut enc = *stored_old;
+        let mut flags = DinFlags::default();
+        for g in 0..codec.groups() {
+            let lo = g * codec.group_bits();
+            let hi = lo + codec.group_bits();
+            let mut best: Option<(u32, u32, bool)> = None;
+            for flag in [false, true] {
+                let mut cand = enc;
+                for bit in lo..hi {
+                    cand.set_bit(bit, plain.bit(bit) ^ flag);
+                }
+                let (victims, programmed) = group_score(&cand, stored_old, lo, hi);
+                let better = match &best {
+                    None => true,
+                    Some((v, p, f)) => {
+                        victims < *v
+                            || (victims == *v && programmed < *p)
+                            || (victims == *v
+                                && programmed == *p
+                                && *f != old_flags.inverted(g)
+                                && flag == old_flags.inverted(g))
+                    }
+                };
+                if better {
+                    best = Some((victims, programmed, flag));
+                }
+            }
+            let (_, _, flag) = best.unwrap();
+            for bit in lo..hi {
+                enc.set_bit(bit, plain.bit(bit) ^ flag);
+            }
+            flags = flags.with(g, flag);
+        }
+        (enc, flags)
+    }
+
+    #[test]
+    fn word_parallel_encode_matches_reference() {
+        for group_bits in [8, 16, 32, 64, 128, 256, 512] {
+            let codec = DinCodec::new(group_bits);
+            let mut rng = SimRng::from_seed(77 + group_bits as u64);
+            let mut stored = LineBuf::zeroed();
+            let mut flags = DinFlags::default();
+            for round in 0..200 {
+                // Mix dense random lines with sparse ones (few
+                // programmed bits) so both crowded and empty victim
+                // windows are exercised.
+                let plain = if round % 3 == 0 {
+                    let mut sparse = stored;
+                    for _ in 0..4 {
+                        let b = (rng.next_u64() % LINE_BITS as u64) as usize;
+                        sparse.set_bit(b, !sparse.bit(b));
+                    }
+                    sparse
+                } else {
+                    random_line(&mut rng)
+                };
+                let fast = codec.encode(&plain, &stored, flags);
+                let slow = encode_reference(&codec, &plain, &stored, flags);
+                assert_eq!(
+                    fast, slow,
+                    "divergence at group_bits={group_bits} round={round}"
+                );
+                (stored, flags) = fast;
+            }
+        }
+    }
 
     fn random_line(rng: &mut SimRng) -> LineBuf {
         let mut words = [0u64; 8];
