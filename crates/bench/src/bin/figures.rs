@@ -55,12 +55,13 @@ const FIGURE_TITLES: &[(&str, &str)] = &[
     ),
 ];
 
-/// `figures bench [--smoke] [--workers N] [--refs N] [--seed S] [--out PATH]`
+/// `figures bench [--smoke] [--profile] [--workers N] [--refs N] [--seed S] [--out PATH]`
 fn bench_main(args: Vec<String>) {
     let mut p = params::criterion();
     let mut mode = "default";
     let mut workers = sweep::default_workers();
     let mut out = "BENCH_sweep.json".to_owned();
+    let mut profile = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -68,6 +69,7 @@ fn bench_main(args: Vec<String>) {
                 mode = "smoke";
                 p = params::smoke();
             }
+            "--profile" => profile = true,
             "--workers" => {
                 workers = it
                     .next()
@@ -97,17 +99,22 @@ fn bench_main(args: Vec<String>) {
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: figures bench [--smoke] [--workers N] [--refs N] [--seed S] [--out PATH]");
+                eprintln!(
+                    "usage: figures bench [--smoke] [--profile] [--workers N] [--refs N] \
+                     [--seed S] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    // `SDPCM_PROF=1` in the environment is equivalent to `--profile`.
+    let profile = profile || sdpcm_engine::prof::enabled();
     println!(
-        "perf harness ({mode}, seed={}, refs/core={}, workers={workers})",
+        "perf harness ({mode}, seed={}, refs/core={}, workers={workers}, profile={profile})",
         p.seed, p.refs_per_core
     );
     let started = Instant::now();
-    let results = perf::run(mode, &p, workers);
+    let results = perf::run(mode, &p, workers, profile);
     for c in &results.single_cells {
         println!(
             "cell {}/{}: {:.3}s/run, {:.3e} cycles/s, {:.3e} writes/s",
@@ -148,6 +155,17 @@ fn bench_main(args: Vec<String>) {
             t.identical,
             "replayed sweep output diverged from inline generation"
         );
+    }
+    if let Some(sites) = &results.profile {
+        println!("profile (merged over the whole harness run):");
+        for s in sites {
+            println!(
+                "  {:<14} {:>12} calls  {:>10.3} ms",
+                s.name,
+                s.calls,
+                s.total_ns as f64 / 1e6
+            );
+        }
     }
     let json = perf::to_json(&results);
     std::fs::write(&out, json).expect("write BENCH_sweep.json");

@@ -20,6 +20,7 @@ use sdpcm_core::experiments::{fig11, run_cell};
 use sdpcm_core::hiersim::{HierarchyParams, HierarchySim};
 use sdpcm_core::sweep;
 use sdpcm_core::{ExperimentParams, HierTrace, RunStats, Scheme};
+use sdpcm_engine::prof;
 use sdpcm_trace::BenchKind;
 
 /// Throughput of one repeatedly-simulated `(scheme, benchmark)` cell.
@@ -100,13 +101,24 @@ pub struct PerfResults {
     pub figures: Vec<FigureTiming>,
     /// Capture-vs-replay timings.
     pub replay: Vec<ReplayTiming>,
+    /// Merged profiler report over the whole harness run (present only
+    /// when profiling was requested via `--profile` / `SDPCM_PROF=1`).
+    pub profile: Option<Vec<prof::SiteReport>>,
 }
 
 /// Runs the perf harness: times single-cell throughput and the fig11
 /// sweep (sequential, then on `workers` workers, checking the outputs
-/// match). `mode` is recorded verbatim in the results.
+/// match). `mode` is recorded verbatim in the results. With `profile`
+/// the internal profiler is switched on for the duration of the run and
+/// its merged per-site report is attached — the measurements themselves
+/// are unchanged by construction (probes never draw randomness or touch
+/// simulated time), only slightly slower in wall-clock.
 #[must_use]
-pub fn run(mode: &str, params: &ExperimentParams, workers: usize) -> PerfResults {
+pub fn run(mode: &str, params: &ExperimentParams, workers: usize, profile: bool) -> PerfResults {
+    if profile {
+        prof::reset();
+        prof::set_enabled(true);
+    }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let samples = if mode == "smoke" { 2 } else { 5 };
 
@@ -144,6 +156,14 @@ pub fn run(mode: &str, params: &ExperimentParams, workers: usize) -> PerfResults
 
     let replay = vec![replay_timing(mode, params)];
 
+    let profile = if profile {
+        let report = prof::report();
+        prof::set_enabled(false);
+        Some(report)
+    } else {
+        None
+    };
+
     PerfResults {
         mode: mode.to_owned(),
         host_cores,
@@ -152,6 +172,7 @@ pub fn run(mode: &str, params: &ExperimentParams, workers: usize) -> PerfResults
         single_cells,
         figures,
         replay,
+        profile,
     }
 }
 
@@ -241,12 +262,13 @@ fn with_workers<T>(workers: usize, f: impl FnOnce() -> T) -> T {
 }
 
 /// Serializes the results as the `BENCH_sweep.json` document
-/// (`schema_version` 2; version 2 added the `replay` section).
+/// (`schema_version` 3; version 2 added the `replay` section, version 3
+/// the optional `profile` section from `figures bench --profile`).
 #[must_use]
 pub fn to_json(r: &PerfResults) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 2,");
+    let _ = writeln!(s, "  \"schema_version\": 3,");
     let _ = writeln!(s, "  \"mode\": {},", json_str(&r.mode));
     let _ = writeln!(s, "  \"host_cores\": {},", r.host_cores);
     let _ = writeln!(s, "  \"seed\": {},", r.seed);
@@ -304,7 +326,24 @@ pub fn to_json(r: &PerfResults) -> String {
             comma(i, r.replay.len()),
         );
     }
-    s.push_str("  ]\n}\n");
+    match &r.profile {
+        Some(sites) => {
+            s.push_str("  ],\n");
+            s.push_str("  \"profile\": [\n");
+            for (i, site) in sites.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "    {{\"site\": {}, \"calls\": {}, \"total_ns\": {}}}{}",
+                    json_str(site.name),
+                    site.calls,
+                    site.total_ns,
+                    comma(i, sites.len()),
+                );
+            }
+            s.push_str("  ]\n}\n");
+        }
+        None => s.push_str("  ]\n}\n"),
+    }
     s
 }
 
@@ -379,6 +418,7 @@ mod tests {
                 replay_secs: 2.0,
                 identical: true,
             }],
+            profile: None,
         }
     }
 
@@ -386,7 +426,7 @@ mod tests {
     fn json_has_schema_and_metrics() {
         let j = to_json(&sample());
         for needle in [
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"mode\": \"smoke\"",
             "\"host_cores\": 4",
             "\"cycles_per_sec\": 1000000",
@@ -408,6 +448,28 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains("NaN") && !j.contains("inf"));
+        assert!(
+            !j.contains("\"profile\""),
+            "no profile section unless profiled"
+        );
+    }
+
+    #[test]
+    fn profile_section_serializes_when_present() {
+        let mut r = sample();
+        r.profile = Some(vec![prof::SiteReport {
+            name: "ctrl_advance",
+            calls: 10,
+            total_ns: 1234,
+        }]);
+        let j = to_json(&r);
+        assert!(
+            j.contains("\"profile\": ["),
+            "profile section present:\n{j}"
+        );
+        assert!(j.contains("{\"site\": \"ctrl_advance\", \"calls\": 10, \"total_ns\": 1234}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! traffic (fill reads + write-backs) is returned to the caller, which
 //! forwards it to the memory controller.
 
+use sdpcm_engine::prof::{self, Site};
 use sdpcm_engine::Cycle;
 
 use crate::cache::{AccessKind, CacheConfig, SetAssocCache, LINE_BYTES};
@@ -135,6 +136,7 @@ impl CoreCaches {
     /// Pushes one reference through L1 → L2 → L3, returning accumulated
     /// latency and the PCM traffic it generates.
     pub fn access(&mut self, line_addr: u64, kind: AccessKind) -> HierarchyOutcome {
+        let _t = prof::timer(Site::CacheAccess);
         let mut out = HierarchyOutcome::default();
 
         // L1.

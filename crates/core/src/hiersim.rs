@@ -29,6 +29,7 @@ use std::sync::Arc;
 use sdpcm_cachesim::cache::AccessKind as CacheAccess;
 use sdpcm_cachesim::hierarchy::CoreCaches;
 use sdpcm_engine::hash::FxHashMap;
+use sdpcm_engine::prof::{self, Site};
 use sdpcm_engine::{Cycle, SimRng};
 use sdpcm_memctrl::{Access, AccessKind, Completion, CtrlConfig, MemoryController, ReqId};
 use sdpcm_osalloc::{NmAllocator, PageTable};
@@ -98,6 +99,19 @@ enum HSource {
     },
 }
 
+/// A live-mode access whose cache outcome is known but whose controller
+/// interactions (write-backs, fill) must wait until the event loop
+/// reaches the access's start time. Produced when
+/// [`HierarchySim::step_core_live`] batches cache-resident accesses past
+/// `now` and then hits one that touches PCM: the payload synthesis reads
+/// controller state, so it may only run once the controller has been
+/// advanced to the access time.
+struct PendingAccess {
+    fill: Option<u64>,
+    writebacks: Vec<(u64, ToggleMask)>,
+    latency: Cycle,
+}
+
 struct HCore {
     src: HSource,
     ready_at: Cycle,
@@ -105,6 +119,9 @@ struct HCore {
     instructions: u64,
     blocked_on: Option<ReqId>,
     finish: Option<Cycle>,
+    /// Deferred non-absorbed access from a live batch (see
+    /// [`PendingAccess`]); replay cores never use it.
+    pending: Option<PendingAccess>,
 }
 
 /// The hierarchy-mode simulator.
@@ -182,6 +199,7 @@ impl HierarchySim {
                 instructions: 0,
                 blocked_on: None,
                 finish: None,
+                pending: None,
             })
             .collect();
         Ok(HierarchySim::assemble(
@@ -230,6 +248,7 @@ impl HierarchySim {
                 instructions: 0,
                 blocked_on: None,
                 finish: None,
+                pending: None,
             })
             .collect();
         Ok(HierarchySim::assemble(
@@ -391,6 +410,7 @@ impl HierarchySim {
             if guard >= 500_000_000 {
                 return Err(self.livelock(now));
             }
+            let _t = prof::timer(Site::HierStep);
 
             let mut done_buf = std::mem::take(&mut self.done_scratch);
             self.ctrl.advance_into(now, &mut done_buf)?;
@@ -447,47 +467,93 @@ impl HierarchySim {
         .into()
     }
 
+    /// One live-core turn. Cache-resident (absorbed) accesses are purely
+    /// core-local — stream, RNG, and cache state are private, and they
+    /// never touch the controller — so consecutive ones are retired in a
+    /// batch here instead of bouncing through the event loop once per
+    /// access. The first access that does reach PCM ends the batch: its
+    /// cache outcome and toggle draws are taken immediately (the per-core
+    /// RNG order must not change), but its controller interactions are
+    /// deferred via [`PendingAccess`] until the event loop has advanced
+    /// the controller to the access's start time — payload synthesis
+    /// reads controller state, and submitting early would reorder it
+    /// against other cores' intervening traffic.
     fn step_core_live(&mut self, core: usize, now: Cycle, quota: u64) -> Result<(), SdpcmError> {
-        let store_fraction = self.hparams.store_fraction;
-        // One cache access.
-        let HSource::Live {
-            stream,
-            caches,
-            rng,
-        } = &mut self.cores[core].src
-        else {
-            unreachable!("live step on a replay core")
-        };
-        let (vpage, slot) = stream.next_line();
-        let vline = vpage * LINES_PER_PAGE + u64::from(slot);
-        let is_store = rng.chance(store_fraction);
-        let kind = if is_store {
-            CacheAccess::Write
-        } else {
-            CacheAccess::Read
-        };
-        let out = caches.access(vline, kind);
-
-        // Dirty evictions become posted PCM writes; payloads are the
-        // newest architectural value XOR 48 per-core toggle draws.
-        let mut writebacks = Vec::new();
-        for &wb in &out.pcm_writebacks {
-            let mut mask = ToggleMask::default();
-            for _ in 0..48 {
-                let b = rng.index(512);
-                mask[b / 64] ^= 1 << (b % 64);
+        if let Some(p) = self.cores[core].pending.take() {
+            for (vline, mask) in &p.writebacks {
+                self.submit_writeback_mask(core, *vline, mask, now)?;
             }
-            writebacks.push((wb, mask));
+            let c = &mut self.cores[core];
+            c.accesses_done += 1;
+            c.instructions += self.hparams.insts_per_access;
+            let after = now + p.latency + Cycle(self.hparams.insts_per_access);
+            return self.finish_access(core, p.fill, after, quota);
         }
-        for (vline, mask) in &writebacks {
-            self.submit_writeback_mask(core, *vline, mask, now)?;
+        let store_fraction = self.hparams.store_fraction;
+        let insts = self.hparams.insts_per_access;
+        let mut t = now;
+        loop {
+            let HSource::Live {
+                stream,
+                caches,
+                rng,
+            } = &mut self.cores[core].src
+            else {
+                unreachable!("live step on a replay core")
+            };
+            let (vpage, slot) = stream.next_line();
+            let vline = vpage * LINES_PER_PAGE + u64::from(slot);
+            let is_store = rng.chance(store_fraction);
+            let kind = if is_store {
+                CacheAccess::Write
+            } else {
+                CacheAccess::Read
+            };
+            let out = caches.access(vline, kind);
+            if out.pcm_fill.is_none() && out.pcm_writebacks.is_empty() {
+                let latency = out.latency;
+                let c = &mut self.cores[core];
+                c.accesses_done += 1;
+                c.instructions += insts;
+                t = t + latency + Cycle(insts);
+                if c.accesses_done >= quota {
+                    c.finish = Some(t);
+                    c.blocked_on = None;
+                    self.inflight.retain(|_, &mut owner| owner != core);
+                    return Ok(());
+                }
+                continue;
+            }
+            // Dirty evictions become posted PCM writes; payloads are the
+            // newest architectural value XOR 48 per-core toggle draws.
+            let mut writebacks = Vec::new();
+            for &wb in &out.pcm_writebacks {
+                let mut mask = ToggleMask::default();
+                for _ in 0..48 {
+                    let b = rng.index(512);
+                    mask[b / 64] ^= 1 << (b % 64);
+                }
+                writebacks.push((wb, mask));
+            }
+            if t == now {
+                for (vline, mask) in &writebacks {
+                    self.submit_writeback_mask(core, *vline, mask, now)?;
+                }
+                let c = &mut self.cores[core];
+                c.accesses_done += 1;
+                c.instructions += insts;
+                let after = now + out.latency + Cycle(insts);
+                return self.finish_access(core, out.pcm_fill, after, quota);
+            }
+            let c = &mut self.cores[core];
+            c.pending = Some(PendingAccess {
+                fill: out.pcm_fill,
+                writebacks,
+                latency: out.latency,
+            });
+            c.ready_at = t;
+            return Ok(());
         }
-
-        let c = &mut self.cores[core];
-        c.accesses_done += 1;
-        c.instructions += self.hparams.insts_per_access;
-        let after = now + out.latency + Cycle(self.hparams.insts_per_access);
-        self.finish_access(core, out.pcm_fill, after, quota)
     }
 
     fn step_core_replay(&mut self, core: usize, now: Cycle, quota: u64) -> Result<(), SdpcmError> {

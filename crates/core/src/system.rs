@@ -14,6 +14,7 @@
 use std::sync::Arc;
 
 use sdpcm_engine::hash::FxHashMap;
+use sdpcm_engine::prof::{self, Site};
 use sdpcm_engine::{Cycle, SimRng};
 use sdpcm_memctrl::{Access, AccessKind, Completion, CtrlConfig, MemoryController, ReqId};
 use sdpcm_osalloc::{NmAllocator, PageTable, Tlb};
@@ -257,6 +258,7 @@ impl SystemSim {
             if self.cores.iter().all(|c| c.finish.is_some()) {
                 break;
             }
+            let _t = prof::timer(Site::SystemStep);
             let core_t = self
                 .cores
                 .iter()

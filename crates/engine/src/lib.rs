@@ -16,6 +16,8 @@
 //!   every table and figure of the evaluation.
 //! * [`hash`] — a deterministic FxHash-style hasher for the simulator's
 //!   hot-path maps (the DoS-resistant std default is wasted cost here).
+//! * [`prof`] — the always-compiled, zero-cost-when-disabled profiler
+//!   behind `SDPCM_PROF=1` and `figures bench --profile`.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 pub mod clock;
 pub mod events;
 pub mod hash;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -39,6 +42,6 @@ pub mod table;
 pub use clock::Cycle;
 pub use events::EventQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use rng::SimRng;
+pub use rng::{ChanceGate, SimRng};
 pub use stats::{Counter, Histogram, QuantileSketch, RunningStat};
 pub use table::TextTable;

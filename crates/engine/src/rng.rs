@@ -112,14 +112,25 @@ impl SimRng {
     }
 
     /// Bernoulli trial: `true` with probability `p` (clamped to `[0,1]`).
+    ///
+    /// Decision-identical to the historical `unit() < p` form (see
+    /// [`ChanceGate`] for why), but per-call it builds the integer
+    /// threshold from scratch; hot loops with a fixed `p` should build
+    /// the gate once and use [`SimRng::chance_gate`].
     pub fn chance(&mut self, p: f64) -> bool {
-        if p <= 0.0 {
-            return false;
+        self.chance_gate(ChanceGate::new(p))
+    }
+
+    /// Bernoulli trial against a precomputed [`ChanceGate`]. Consumes
+    /// exactly the draws [`SimRng::chance`] would for the same `p`: one
+    /// `next_u64` for `p` in `(0, 1)`, none at the clamped extremes.
+    #[inline]
+    pub fn chance_gate(&mut self, gate: ChanceGate) -> bool {
+        match gate.threshold {
+            ChanceGate::NEVER => false,
+            ChanceGate::ALWAYS => true,
+            t => (self.next_u64() >> 11) < t,
         }
-        if p >= 1.0 {
-            return true;
-        }
-        self.unit() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
@@ -174,6 +185,60 @@ impl SimRng {
     }
 }
 
+/// A precomputed Bernoulli threshold for a fixed probability.
+///
+/// The historical draw is `unit() < p` with `unit() = (x >> 11) as f64 ·
+/// 2⁻⁵³` — a u64→f64 convert, multiply, and compare per draw. Both sides
+/// of that comparison are exact: `k = x >> 11 < 2⁵³` is exactly
+/// representable, scaling by the power of two 2⁻⁵³ is exact, and so is
+/// `p · 2⁵³` (an exponent shift, even from subnormal `p`). Therefore
+///
+/// ```text
+/// k·2⁻⁵³ < p  ⟺  k < p·2⁵³  ⟺  k < ceil(p·2⁵³)
+/// ```
+///
+/// (the last step because `k` is an integer), which turns every draw
+/// into a shift and an integer compare — decision-identical to the f64
+/// reference by construction, bit for bit. Pinned by the property test
+/// in `tests/properties.rs` and the sweep below.
+///
+/// `p ≤ 0` and `p ≥ 1` are resolved without consuming a draw, exactly
+/// like [`SimRng::chance`] always has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChanceGate {
+    threshold: u64,
+}
+
+impl ChanceGate {
+    /// Sentinel: `false` without drawing (p ≤ 0).
+    const NEVER: u64 = 0;
+    /// Sentinel: `true` without drawing (p ≥ 1). Distinct from every
+    /// real threshold, which is at most 2⁵³.
+    const ALWAYS: u64 = u64::MAX;
+
+    /// Builds the gate for probability `p` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn new(p: f64) -> ChanceGate {
+        let threshold = if p <= 0.0 {
+            ChanceGate::NEVER
+        } else if p >= 1.0 {
+            ChanceGate::ALWAYS
+        } else {
+            // Exact product (power-of-two scale), then an exact ceil and
+            // cast: the result is in [1, 2^53].
+            (p * 9_007_199_254_740_992.0).ceil() as u64
+        };
+        ChanceGate { threshold }
+    }
+
+    /// Whether the gate can never fire (p ≤ 0) — callers skip whole
+    /// draw loops on this.
+    #[must_use]
+    pub fn is_never(self) -> bool {
+        self.threshold == ChanceGate::NEVER
+    }
+}
+
 fn fold_label(seed: u64, label: &str) -> u64 {
     // FNV-1a over the seed bytes then the label bytes.
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -218,6 +283,57 @@ mod tests {
         assert!(r.chance(1.0));
         assert!(!r.chance(-3.0));
         assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn gate_matches_f64_reference_across_sweep() {
+        // Probability sweep from the issue: 0, subnormal-adjacent,
+        // calibrated WD rates, 0.5, 1−ε, 1, plus out-of-range clamps.
+        let ps = [
+            0.0,
+            -1.0,
+            f64::MIN_POSITIVE, // smallest normal
+            5e-324,            // smallest subnormal
+            1e-300,
+            1e-12,
+            0.099,
+            0.115,
+            0.3,
+            0.5,
+            0.9,
+            1.0 - f64::EPSILON,
+            1.0,
+            1.5,
+        ];
+        for &p in &ps {
+            let mut reference = SimRng::from_seed_label(11, "gate-sweep");
+            let mut gated = SimRng::from_seed_label(11, "gate-sweep");
+            let gate = ChanceGate::new(p);
+            for i in 0..4096 {
+                // The historical decision procedure, verbatim.
+                let expect = if p <= 0.0 {
+                    false
+                } else if p >= 1.0 {
+                    true
+                } else {
+                    reference.unit() < p
+                };
+                assert_eq!(gated.chance_gate(gate), expect, "p={p} draw={i}");
+            }
+            // Draw consumption must match too, or streams desynchronize.
+            assert_eq!(reference.next_u64(), gated.next_u64(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn gate_extremes_consume_no_draws() {
+        let mut r = SimRng::from_seed(17);
+        let before = r.clone().next_u64();
+        assert!(!r.chance_gate(ChanceGate::new(0.0)));
+        assert!(r.chance_gate(ChanceGate::new(1.0)));
+        assert!(ChanceGate::new(0.0).is_never());
+        assert!(!ChanceGate::new(0.5).is_never());
+        assert_eq!(r.next_u64(), before, "extremes must not advance the stream");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use std::collections::VecDeque;
 
 use sdpcm_engine::hash::{FxHashMap, FxHashSet};
+use sdpcm_engine::prof::{self, Site};
 use sdpcm_engine::{Cycle, SimRng};
 use sdpcm_osalloc::{NmRatio, VerifyPolicy};
 use sdpcm_pcm::ecp::EcpKind;
@@ -139,11 +140,46 @@ struct Bank {
     paused: Option<Box<WriteJob>>,
     read_q: VecDeque<Access>,
     write_q: VecDeque<WqEntry>,
+    /// Per-address entry count for `write_q` — the membership index that
+    /// answers the hot path's "is this line queued?" in O(1) instead of a
+    /// linear scan. A *count* rather than a set: coalescing keeps demand
+    /// writes unique, but a cancelled write is pushed back at the front
+    /// while a later write to the same line may already have queued
+    /// behind it, so an address can transiently hold two entries.
+    wq_index: FxHashMap<LineAddr, u32>,
     draining: bool,
     /// Writes left in the current burst.
     drain_left: usize,
     /// End-of-run flush: drain to empty, ignoring the burst bound.
     flushing: bool,
+}
+
+impl Bank {
+    /// Whether any queued write targets `addr` (O(1) index probe). The
+    /// scans that need the entry itself still walk the queue, but only
+    /// after this says there is something to find.
+    #[inline]
+    fn wq_contains(&self, addr: LineAddr) -> bool {
+        !self.wq_index.is_empty() && self.wq_index.contains_key(&addr)
+    }
+
+    /// Index maintenance for a `write_q` push (front or back).
+    #[inline]
+    fn wq_note_push(&mut self, addr: LineAddr) {
+        *self.wq_index.entry(addr).or_insert(0) += 1;
+    }
+
+    /// Index maintenance for a `write_q` removal (pop or mid-queue).
+    #[inline]
+    fn wq_note_remove(&mut self, addr: LineAddr) {
+        match self.wq_index.get_mut(&addr) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.wq_index.remove(&addr);
+            }
+            None => debug_assert!(false, "write-queue index lost {addr}"),
+        }
+    }
 }
 
 /// The memory controller.
@@ -335,6 +371,33 @@ impl MemoryController {
         self.salvaged.len()
     }
 
+    /// Test-only probe: asserts every bank's write-queue address index
+    /// equals an exact linear recount of its queue. The index is the
+    /// fast-path replacement for the old full-queue scans, so any drift
+    /// here silently changes forwarding/coalescing decisions; the
+    /// randomized equivalence test in `tests/controller_stress.rs` calls
+    /// this after every controller interaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns which bank diverged and both multisets on mismatch.
+    #[doc(hidden)]
+    pub fn check_wq_index(&self) -> Result<(), String> {
+        for (bi, b) in self.banks.iter().enumerate() {
+            let mut recount: FxHashMap<LineAddr, u32> = FxHashMap::default();
+            for e in &b.write_q {
+                *recount.entry(e.access.addr).or_insert(0) += 1;
+            }
+            if recount != b.wq_index {
+                return Err(format!(
+                    "bank {bi}: wq_index {:?} != linear recount {:?}",
+                    b.wq_index, recount
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Captures queue state for diagnostics (livelock reports, error
     /// payloads). Idle banks are omitted from the per-bank list.
     #[must_use]
@@ -426,8 +489,7 @@ impl MemoryController {
             return true; // served from the pool, no queue entry needed
         }
         let b = &self.banks[addr.bank.0 as usize];
-        b.write_q.len() < self.cfg.write_queue_cap
-            || b.write_q.iter().any(|e| e.access.addr == addr)
+        b.write_q.len() < self.cfg.write_queue_cap || b.wq_contains(addr)
     }
 
     /// Entries currently queued in a bank's write queue (diagnostics).
@@ -449,12 +511,16 @@ impl MemoryController {
     /// address (gap-move copies).
     fn latest_architectural_physical(&self, addr: LineAddr) -> LineBuf {
         let b = &self.banks[addr.bank.0 as usize];
-        let queued = b
-            .write_q
-            .iter()
-            .rev()
-            .find(|e| e.access.addr == addr)
-            .map(|e| e.access.kind)
+        let from_queue = if b.wq_contains(addr) {
+            b.write_q
+                .iter()
+                .rev()
+                .find(|e| e.access.addr == addr)
+                .map(|e| e.access.kind)
+        } else {
+            None
+        };
+        let queued = from_queue
             .or_else(|| match &b.op {
                 Some(BankOp::Write(job)) if !job.committed && job.entry.access.addr == addr => {
                     Some(job.entry.access.kind)
@@ -552,6 +618,7 @@ impl MemoryController {
     /// non-(1:1) allocator ([`CtrlError::StartGapRatio`]); surfaces any
     /// broken deep invariant as [`CtrlError::InternalAnomaly`].
     pub fn submit(&mut self, access: Access, now: Cycle) -> Result<(), CtrlError> {
+        let _t = prof::timer(Site::CtrlSubmit);
         let access = self.remap_start_gap(access)?;
         let is_demand_write = access.kind.is_write();
         let bank = access.addr.bank.0 as usize;
@@ -693,6 +760,7 @@ impl MemoryController {
     /// Surfaces any broken deep invariant as
     /// [`CtrlError::InternalAnomaly`] with a queue snapshot attached.
     pub fn advance_into(&mut self, now: Cycle, out: &mut Vec<Completion>) -> Result<(), CtrlError> {
+        let _t = prof::timer(Site::CtrlAdvance);
         out.clear();
         self.process_until(now);
         self.take_anomaly(now)?;
@@ -765,12 +833,17 @@ impl MemoryController {
         }
         // Forward from the write queue (newest entry wins) or from the
         // write job in flight.
-        let forwarded = self.banks[bank]
-            .write_q
-            .iter()
-            .rev()
-            .find(|e| e.access.addr == access.addr)
-            .map(|e| e.access.kind)
+        let from_queue = if self.banks[bank].wq_contains(access.addr) {
+            self.banks[bank]
+                .write_q
+                .iter()
+                .rev()
+                .find(|e| e.access.addr == access.addr)
+                .map(|e| e.access.kind)
+        } else {
+            None
+        };
+        let forwarded = from_queue
             .or_else(|| match &self.banks[bank].op {
                 Some(BankOp::Write(job)) if job.entry.access.addr == access.addr => {
                     Some(job.entry.access.kind)
@@ -821,25 +894,29 @@ impl MemoryController {
             return;
         }
         // Coalesce with a queued write to the same line.
-        if let Some(e) = self.banks[bank]
-            .write_q
-            .iter_mut()
-            .find(|e| e.access.addr == access.addr)
-        {
-            e.access.kind = AccessKind::Write(data);
-            self.push_completion(Completion {
-                id: access.id,
-                at: now,
-                was_write: true,
-                data: None,
-            });
-            return;
+        if self.banks[bank].wq_contains(access.addr) {
+            if let Some(e) = self.banks[bank]
+                .write_q
+                .iter_mut()
+                .find(|e| e.access.addr == access.addr)
+            {
+                e.access.kind = AccessKind::Write(data);
+                self.push_completion(Completion {
+                    id: access.id,
+                    at: now,
+                    was_write: true,
+                    data: None,
+                });
+                return;
+            }
         }
         let mut entry = WqEntry::new(access);
         if self.cfg.scheme.preread {
             self.forward_prereads(bank, &mut entry);
         }
+        let addr = entry.access.addr;
         self.banks[bank].write_q.push_back(entry);
+        self.banks[bank].wq_note_push(addr);
         if self.banks[bank].write_q.len() >= self.cfg.write_queue_cap {
             self.arm_drain(bank);
         }
@@ -866,6 +943,9 @@ impl MemoryController {
             let Some(n) = neighbors[side.idx()] else {
                 continue;
             };
+            if !self.banks[bank].wq_contains(n) {
+                continue;
+            }
             let queued = self.banks[bank]
                 .write_q
                 .iter()
@@ -908,6 +988,7 @@ impl MemoryController {
                 // bank back to reads (end-of-run flushes go all the way).
                 if b.drain_left > 0 || b.flushing {
                     if let Some(entry) = b.write_q.pop_front() {
+                        b.wq_note_remove(entry.access.addr);
                         b.drain_left = b.drain_left.saturating_sub(1);
                         self.start_write(bank, entry, now);
                         return;
@@ -1043,7 +1124,9 @@ impl MemoryController {
             Some(BankOp::Write(job)) => {
                 self.bank_min_stale.set(true);
                 self.stats.write_cancellations.inc();
+                let addr = job.entry.access.addr;
                 self.banks[bank].write_q.push_front(job.entry);
+                self.banks[bank].wq_note_push(addr);
                 self.banks[bank].busy_until = now;
                 self.dispatch(bank, now);
             }
@@ -1131,13 +1214,15 @@ impl MemoryController {
                 self.energy.charge_read(512, true);
                 let data = self.geometry.bitline_neighbors(write_line)[side.idx()]
                     .map(|n| self.architectural_line(n));
-                if let Some(e) = self.banks[bank]
-                    .write_q
-                    .iter_mut()
-                    .find(|e| e.access.addr == write_line)
-                {
-                    e.pr_done[side.idx()] = true;
-                    e.pr_buf[side.idx()] = data;
+                if self.banks[bank].wq_contains(write_line) {
+                    if let Some(e) = self.banks[bank]
+                        .write_q
+                        .iter_mut()
+                        .find(|e| e.access.addr == write_line)
+                    {
+                        e.pr_done[side.idx()] = true;
+                        e.pr_buf[side.idx()] = data;
+                    }
                 }
                 self.stats.prereads_issued.inc();
             }
@@ -1274,6 +1359,7 @@ impl MemoryController {
                 }
             }
             Step::OwnFix => {
+                let _t = prof::timer(Site::CtrlCorrect);
                 let cells = std::mem::take(&mut job.pending_wl);
                 let dur = t.correction_latency(cells.len() as u32);
                 self.stats.phases.own_fixes += dur;
@@ -1312,6 +1398,7 @@ impl MemoryController {
                 self.record_ecp(line, &cells);
             }
             Step::Correction { line, cells } => {
+                let _t = prof::timer(Site::CtrlCorrect);
                 let dur = t.correction_latency(cells.len() as u32);
                 self.stats.phases.corrections += dur;
                 self.stats.correction_ops.inc();
@@ -1418,6 +1505,7 @@ impl MemoryController {
         new_errors: Vec<u16>,
         at: Cycle,
     ) {
+        let _t = prof::timer(Site::CtrlVerify);
         if self.salvaged.contains_key(&line) {
             return;
         }
@@ -1554,10 +1642,19 @@ impl MemoryController {
         // one) so its requester still sees a completion.
         let removed = {
             let b = &mut self.banks[bank];
-            b.write_q
-                .iter()
-                .position(|e| e.access.addr == line)
-                .and_then(|pos| b.write_q.remove(pos))
+            if b.wq_contains(line) {
+                let e = b
+                    .write_q
+                    .iter()
+                    .position(|e| e.access.addr == line)
+                    .and_then(|pos| b.write_q.remove(pos));
+                if e.is_some() {
+                    b.wq_note_remove(line);
+                }
+                e
+            } else {
+                None
+            }
         };
         if let Some(e) = removed {
             if let AccessKind::Write(d) = e.access.kind {

@@ -13,6 +13,7 @@
 //! what to correct) lives in the memory-controller crate.
 
 use sdpcm_engine::hash::FxHashMap;
+use sdpcm_engine::prof::{self, Site};
 
 use crate::ecp::{EcpKind, EcpTable};
 use crate::geometry::{LineAddr, MemGeometry, LINES_PER_ROW};
@@ -174,18 +175,44 @@ impl DeviceStore {
     /// lines read as their initial content.
     #[must_use]
     pub fn raw_line(&self, addr: LineAddr) -> LineBuf {
+        let _t = prof::timer(Site::StoreRead);
         self.line(addr)
             .map_or_else(|| self.initial_line(addr), |l| l.data)
     }
 
+    /// Borrowed raw contents of a materialized line. `None` means the
+    /// line is untouched and reads as [`DeviceStore::initial_line`] —
+    /// hot paths use this to skip the 64-byte copy entirely.
+    #[must_use]
+    pub fn raw_line_ref(&self, addr: LineAddr) -> Option<&LineBuf> {
+        self.line(addr).map(|l| &l.data)
+    }
+
     /// Architectural read: raw contents patched by the line's ECP table.
     /// This is what the memory controller returns to the system.
+    ///
+    /// Fast paths: an unmaterialized line is its initial content, and a
+    /// line with an empty ECP table needs no patching — both skip the
+    /// patch loop and its intermediate copy (most reads, since ECP
+    /// entries exist only on lines that have absorbed errors).
     #[must_use]
     pub fn read_line(&self, addr: LineAddr) -> LineBuf {
+        let _t = prof::timer(Site::StoreRead);
         match self.line(addr) {
             None => self.initial_line(addr),
+            Some(l) if l.ecp.entries().is_empty() => l.data,
             Some(l) => l.ecp.patch(&l.data),
         }
+    }
+
+    /// Borrowed architectural contents, available when the line is
+    /// materialized and needs no ECP patching (the common case). `None`
+    /// falls back to the owning [`DeviceStore::read_line`].
+    #[must_use]
+    pub fn read_line_ref(&self, addr: LineAddr) -> Option<&LineBuf> {
+        self.line(addr)
+            .filter(|l| l.ecp.entries().is_empty())
+            .map(|l| &l.data)
     }
 
     /// Applies a differential-write mask to the array. Stuck cells retain
@@ -194,6 +221,7 @@ impl DeviceStore {
     ///
     /// Wear is charged to `class` (normal data write vs correction).
     pub fn apply_write(&mut self, addr: LineAddr, diff: &DiffMask, class: WriteClass) -> LineBuf {
+        let _t = prof::timer(Site::StoreWrite);
         let line = self.line_mut(addr);
         let mut after = diff.apply(&line.data);
         for &(bit, stuck_val) in &line.stuck {

@@ -130,6 +130,54 @@ pub mod strategy {
         }
     }
 
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // 2^53 + 1 lattice points so both endpoints are reachable.
+            let unit = rng.below((1 << 53) + 1) as f64 / (1u64 << 53) as f64;
+            self.start() + (self.end() - self.start()) * unit
+        }
+    }
+
+    /// A weighted union of same-valued strategies (see [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; weights are relative selection frequencies.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    /// Type-erases a strategy (the [`crate::prop_oneof!`] arm adapter).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -296,7 +344,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Path-style access (`prop::sample::select`).
     pub mod prop {
@@ -323,6 +371,22 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => { assert_ne!($a, $b) };
     ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`). All
+/// arms must generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
@@ -389,6 +453,23 @@ mod tests {
         #[test]
         fn prop_map_applies(n in (0u32..10).prop_map(|x| x * 2)) {
             prop_assert!(n % 2 == 0 && n < 20);
+        }
+
+        #[test]
+        fn oneof_unions_arms(
+            p in prop_oneof![
+                4 => 0.0f64..=1.0,
+                1 => prop::sample::select(vec![-5.0f64, 7.0]),
+            ],
+            q in prop_oneof![0u64..3, 10u64..13],
+        ) {
+            prop_assert!((0.0..=1.0).contains(&p) || p == -5.0 || p == 7.0);
+            prop_assert!(q < 3 || (10..13).contains(&q));
+        }
+
+        #[test]
+        fn inclusive_f64_range_stays_in_bounds(x in -2.0f64..=3.0) {
+            prop_assert!((-2.0..=3.0).contains(&x));
         }
     }
 

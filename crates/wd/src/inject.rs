@@ -6,7 +6,8 @@
 //! the cells that actually flip. All draws come from one seeded stream,
 //! so a full-system run is reproducible.
 
-use sdpcm_engine::SimRng;
+use sdpcm_engine::prof::{self, Site};
+use sdpcm_engine::{ChanceGate, SimRng};
 use sdpcm_pcm::line::{DiffMask, LineBuf};
 
 use crate::disturb::DisturbanceModel;
@@ -70,6 +71,11 @@ pub struct WdInjector {
     p_bl: f64,
     /// Chaos-harness multiplier on both probabilities (1.0 = calm).
     storm: f64,
+    /// Integer draw thresholds for the effective `(p, storm)` pair,
+    /// rebuilt only when the storm changes — the per-cell draw is a
+    /// shift and an integer compare (see [`ChanceGate`]).
+    gate_wl: ChanceGate,
+    gate_bl: ChanceGate,
     rng: SimRng,
 }
 
@@ -78,12 +84,16 @@ impl WdInjector {
     /// disturbance model.
     #[must_use]
     pub fn new(model: &DisturbanceModel, spacing: ArraySpacing, rng: SimRng) -> WdInjector {
-        WdInjector {
+        let mut inj = WdInjector {
             p_wl: model.probability(Direction::WordLine, spacing),
             p_bl: model.probability(Direction::BitLine, spacing),
             storm: 1.0,
+            gate_wl: ChanceGate::new(0.0),
+            gate_bl: ChanceGate::new(0.0),
             rng,
-        }
+        };
+        inj.refresh_gates();
+        inj
     }
 
     /// Builds an injector with explicit probabilities (ablations, chaos
@@ -94,12 +104,23 @@ impl WdInjector {
                 return Err(WdError::InvalidProbability { which, value });
             }
         }
-        Ok(WdInjector {
+        let mut inj = WdInjector {
             p_wl,
             p_bl,
             storm: 1.0,
+            gate_wl: ChanceGate::new(0.0),
+            gate_bl: ChanceGate::new(0.0),
             rng,
-        })
+        };
+        inj.refresh_gates();
+        Ok(inj)
+    }
+
+    /// Rebuilds the cached draw thresholds from the effective
+    /// probabilities (called whenever the storm multiplier changes).
+    fn refresh_gates(&mut self) {
+        self.gate_wl = ChanceGate::new(self.p_wordline());
+        self.gate_bl = ChanceGate::new(self.p_bitline());
     }
 
     /// Per-RESET word-line disturbance probability in effect (including
@@ -125,12 +146,14 @@ impl WdInjector {
             return Err(WdError::InvalidStorm { value: mult });
         }
         self.storm = mult;
+        self.refresh_gates();
         Ok(())
     }
 
     /// Returns to the calibrated probabilities.
     pub fn clear_storm(&mut self) {
         self.storm = 1.0;
+        self.refresh_gates();
     }
 
     /// The active storm multiplier (1.0 when calm).
@@ -157,10 +180,12 @@ impl WdInjector {
     /// probability is zero.
     pub fn draw_wordline_into(&mut self, after: &LineBuf, diff: &DiffMask, out: &mut Vec<u16>) {
         out.clear();
-        let p_wl = self.p_wordline();
-        if p_wl <= 0.0 {
+        let gate = self.gate_wl;
+        if gate.is_never() {
             return;
         }
+        let _t = prof::timer(Site::WdDraw);
+        let mut draws = 0u64;
         for b in wordline_vulnerable_mask(after, diff).iter_ones() {
             // A victim flanked by two RESET cells faces two independent
             // disturbance chances.
@@ -168,12 +193,14 @@ impl WdInjector {
             let right = b + 1 < sdpcm_pcm::line::LINE_BITS && diff.is_reset(b + 1);
             let exposures = usize::from(left) + usize::from(right);
             for _ in 0..exposures {
-                if self.rng.chance(p_wl) {
+                draws += 1;
+                if self.rng.chance_gate(gate) {
                     out.push(b as u16);
                     break;
                 }
             }
         }
+        prof::count(Site::RngDraws, draws);
     }
 
     /// Rolls bit-line disturbances in one adjacent line: which of its `0`
@@ -189,10 +216,12 @@ impl WdInjector {
     /// mask word by word. RNG draw order matches the collecting form.
     pub fn draw_bitline_into(&mut self, diff: &DiffMask, neighbor: &LineBuf, out: &mut Vec<u16>) {
         out.clear();
-        let p_bl = self.p_bitline();
-        if p_bl <= 0.0 {
+        let gate = self.gate_bl;
+        if gate.is_never() {
             return;
         }
+        let _t = prof::timer(Site::WdDraw);
+        let mut draws = 0u64;
         let reset_mask = diff.reset_mask();
         for (wi, (&r, &n)) in reset_mask
             .words()
@@ -204,11 +233,13 @@ impl WdInjector {
             while vulnerable != 0 {
                 let b = vulnerable.trailing_zeros() as usize;
                 vulnerable &= vulnerable - 1;
-                if self.rng.chance(p_bl) {
+                draws += 1;
+                if self.rng.chance_gate(gate) {
                     out.push((wi * 64 + b) as u16);
                 }
             }
         }
+        prof::count(Site::RngDraws, draws);
     }
 }
 

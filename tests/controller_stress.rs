@@ -356,6 +356,87 @@ proptest! {
     }
 }
 
+/// Drives a controller through a randomized schedule and asserts, after
+/// every interaction, that the per-bank write-queue address index (the
+/// O(1) fast path added for forwarding/coalescing/cancellation checks)
+/// is exactly the multiset a linear scan of the queue would produce.
+fn run_index_audit(choice: &SchemeChoice, ops: &[Op]) -> Result<(), String> {
+    let mut scheme = CtrlScheme::baseline_vnc();
+    scheme.lazy_correction = choice.lazyc;
+    scheme.preread = choice.preread;
+    scheme.write_cancellation = choice.cancel;
+    scheme.write_pausing = choice.pause;
+    let cfg = CtrlConfig {
+        write_queue_cap: choice.queue_cap,
+        ecp_entries: choice.ecp_entries,
+        ..CtrlConfig::table2(scheme)
+    };
+    let mut ctrl = MemoryController::new(
+        cfg,
+        MemGeometry::small(64),
+        SimRng::from_seed_label(41, "wq-index"),
+    );
+    if choice.aged {
+        ctrl.set_dimm_age(sdpcm::pcm::wear::HardErrorModel::default(), 0.9);
+    }
+    let mut now = Cycle::ZERO;
+    for (i, op) in ops.iter().enumerate() {
+        now += Cycle(op.gap);
+        let addr = LineAddr {
+            bank: BankId(op.bank),
+            row: RowId(op.row),
+            slot: op.slot,
+        };
+        let kind = if op.is_write {
+            let mut data = ctrl.store().initial_line(addr);
+            flip(&mut data, op.flip_seed);
+            AccessKind::Write(data)
+        } else {
+            AccessKind::Read
+        };
+        ctrl.submit(
+            Access {
+                id: ReqId(i as u64),
+                addr,
+                kind,
+                ratio: NmRatio::one_one(),
+                core: 0,
+                arrive: now,
+            },
+            now,
+        )
+        .unwrap();
+        ctrl.check_wq_index()
+            .map_err(|e| format!("after submit {i}: {e}"))?;
+        let _ = ctrl.advance(now).unwrap();
+        ctrl.check_wq_index()
+            .map_err(|e| format!("after advance {i}: {e}"))?;
+    }
+    ctrl.drain_all(now);
+    while let Some(t) = ctrl.next_event() {
+        let _ = ctrl.advance(t).unwrap();
+        ctrl.check_wq_index()
+            .map_err(|e| format!("during drain: {e}"))?;
+        ctrl.drain_all(t);
+    }
+    ctrl.check_wq_index()
+        .map_err(|e| format!("after drain: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn write_queue_index_matches_linear_scan(
+        choice in scheme_strategy(),
+        ops in vec(op_strategy(), 50..200),
+    ) {
+        if let Err(e) = run_index_audit(&choice, &ops) {
+            prop_assert!(false, "{} under {:?}", e, choice);
+        }
+    }
+}
+
 #[test]
 fn kitchen_sink_scheme_long_schedule() {
     // Everything on at once, longer deterministic schedule.

@@ -5,7 +5,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use sdpcm::engine::SimRng;
+use sdpcm::engine::{ChanceGate, SimRng};
 use sdpcm::memctrl::StartGap;
 use sdpcm::osalloc::buddy::BuddyAllocator;
 use sdpcm::osalloc::dma::DmaController;
@@ -238,6 +238,49 @@ proptest! {
         prop_assert_eq!(walk.len() as u64, frames);
         prop_assert!(walk.windows(2).all(|w| w[0] < w[1]));
         prop_assert!(walk.iter().all(|f| (f / 16) % 2 == 0));
+    }
+
+    #[test]
+    fn chance_gate_matches_f64_reference(
+        seed in any::<u64>(),
+        p in prop_oneof![
+            4 => 0.0f64..=1.0,
+            2 => 0.0f64..=0.01, // WD probabilities live down here
+            1 => proptest::sample::select(vec![
+                0.0,
+                f64::MIN_POSITIVE,
+                1e-12,
+                0.115, // the paper's per-write disturbance headline number
+                0.5,
+                1.0 - f64::EPSILON,
+                1.0,
+            ]),
+        ],
+        draws in 1usize..200,
+    ) {
+        // Two identically seeded streams: one decides through the
+        // integer-threshold gate, the other through the historical f64
+        // procedure (`unit() < p`, no draw at the clamped extremes).
+        // Every decision must match AND both must consume the same
+        // number of raw draws, or downstream draw order shifts.
+        let mut gate_rng = SimRng::from_seed(seed);
+        let mut ref_rng = SimRng::from_seed(seed);
+        let gate = ChanceGate::new(p);
+        for i in 0..draws {
+            let expect = if p <= 0.0 {
+                false
+            } else if p >= 1.0 {
+                true
+            } else {
+                ref_rng.unit() < p
+            };
+            prop_assert_eq!(
+                gate_rng.chance_gate(gate), expect,
+                "gate diverged from f64 reference at draw {} (p={})", i, p
+            );
+        }
+        // Stream alignment: the next raw word is identical.
+        prop_assert_eq!(gate_rng.next_u64(), ref_rng.next_u64());
     }
 
     #[test]

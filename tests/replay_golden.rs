@@ -117,6 +117,22 @@ fn hierarchy_replay_matches_inline_for_figure11_schemes() {
 }
 
 #[test]
+fn profiler_gate_does_not_perturb_results() {
+    // The internal profiler must be observationally free: a cell run
+    // with probes firing (`SDPCM_PROF=1` / `--profile`) produces the
+    // same `RunStats` and device content digest as one without.
+    let params = tiny();
+    for scheme in [Scheme::baseline(), Scheme::lazyc_preread()] {
+        sdpcm_engine::prof::set_enabled(false);
+        let off = inline_cell(&scheme, BenchKind::Mcf, &params);
+        sdpcm_engine::prof::set_enabled(true);
+        let on = inline_cell(&scheme, BenchKind::Mcf, &params);
+        sdpcm_engine::prof::set_enabled(false);
+        assert_eq!(off, on, "{}: probes changed the simulation", scheme.name);
+    }
+}
+
+#[test]
 fn corrupted_or_stale_disk_trace_is_rejected_and_regenerated() {
     let dir = std::env::temp_dir().join(format!("sdpcm-replay-golden-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
