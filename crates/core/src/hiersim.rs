@@ -279,7 +279,8 @@ impl HierarchySim {
             ecp_entries: params.ecp_entries,
             ..CtrlConfig::table2(scheme.ctrl)
         };
-        let ctrl = MemoryController::try_new(cfg, geometry, rng.derive("ctrl"))?;
+        let mut ctrl = MemoryController::try_new(cfg, geometry, rng.derive("ctrl"))?;
+        ctrl.set_advance_workers(crate::sweep::default_cell_workers());
 
         let mut os = NmAllocator::new(geometry.total_pages());
         let mut tables = Vec::new();
@@ -451,9 +452,9 @@ impl HierarchySim {
             instructions: self.cores.iter().map(|c| c.instructions).sum(),
             reads: self.pcm_fills,
             writes: self.pcm_writebacks,
-            ctrl: self.ctrl.stats().clone(),
-            wear: *self.ctrl.store().wear(),
-            energy: *self.ctrl.energy(),
+            ctrl: self.ctrl.stats(),
+            wear: self.ctrl.store().wear(),
+            energy: self.ctrl.energy(),
         })
     }
 

@@ -142,6 +142,7 @@ impl SystemSim {
             ..CtrlConfig::table2(scheme.ctrl)
         };
         let mut ctrl = MemoryController::try_new(cfg, geometry, rng.derive("ctrl"))?;
+        ctrl.set_advance_workers(crate::sweep::default_cell_workers());
         if let Some(age) = params.dimm_age {
             ctrl.set_dimm_age(HardErrorModel::default(), age);
         }
@@ -328,9 +329,9 @@ impl SystemSim {
             instructions: self.cores.iter().map(|c| c.instructions).sum(),
             reads: self.reads_issued,
             writes: self.writes_issued,
-            ctrl: self.ctrl.stats().clone(),
-            wear: *self.ctrl.store().wear(),
-            energy: *self.ctrl.energy(),
+            ctrl: self.ctrl.stats(),
+            wear: self.ctrl.store().wear(),
+            energy: self.ctrl.energy(),
         })
     }
 

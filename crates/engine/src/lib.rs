@@ -42,6 +42,6 @@ pub mod table;
 pub use clock::Cycle;
 pub use events::EventQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use rng::{ChanceGate, SimRng};
+pub use rng::{ChanceGate, RngStream, SimRng};
 pub use stats::{Counter, Histogram, QuantileSketch, RunningStat};
 pub use table::TextTable;

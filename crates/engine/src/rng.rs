@@ -7,12 +7,156 @@
 //! does not shift the draws observed by existing components, which keeps
 //! experiments comparable across code revisions.
 //!
-//! The generator is a self-contained xoshiro256++ (Blackman & Vigna)
-//! seeded through SplitMix64 — no external crates, fully deterministic
-//! across platforms, and fast enough that the RNG never shows up in
-//! profiles.
+//! The generator is a self-contained Philox4x32-10 (Salmon et al.,
+//! SC'11 "Parallel random numbers: as easy as 1, 2, 3") — a
+//! counter-based PRF: `draw = philox(key, counter)`. Unlike the
+//! sequential xoshiro generator this replaced, a draw is a pure
+//! function of `(stream identity, draw index)`, so draws are
+//! *order-free*: any thread can compute draw `i` of any stream without
+//! having observed draws `0..i`. That is what lets WD sampling and the
+//! bank-sharded controller advance run in parallel while staying
+//! bit-identical at any worker count.
+//!
+//! Two access patterns share one generator:
+//!
+//! * [`SimRng`] — the historical sequential facade (a stream plus a
+//!   cursor). All distribution helpers live here.
+//! * [`RngStream`] — an immutable stream identity with random access:
+//!   [`RngStream::at`] returns draw `i`, [`RngStream::keyed`] /
+//!   [`RngStream::labeled`] derive independent substreams without
+//!   consuming draws, in any order, from shared references.
+//!
+//! No external crates, fully deterministic across platforms.
 
-/// A deterministic random stream tied to `(seed, label)`.
+/// Philox4x32 round multipliers and Weyl key increments (Random123).
+const PHILOX_M0: u32 = 0xD251_1F53;
+const PHILOX_M1: u32 = 0xCD9E_8D57;
+const PHILOX_W0: u32 = 0x9E37_79B9;
+const PHILOX_W1: u32 = 0xBB67_AE85;
+
+/// One Philox4x32-10 block: encrypt a 128-bit counter under a 64-bit key.
+#[inline]
+#[must_use]
+pub fn philox4x32_10(mut ctr: [u32; 4], mut key: [u32; 2]) -> [u32; 4] {
+    for _ in 0..10 {
+        let p0 = u64::from(ctr[0]) * u64::from(PHILOX_M0);
+        let p1 = u64::from(ctr[2]) * u64::from(PHILOX_M1);
+        ctr = [
+            ((p1 >> 32) as u32) ^ ctr[1] ^ key[0],
+            p1 as u32,
+            ((p0 >> 32) as u32) ^ ctr[3] ^ key[1],
+            p0 as u32,
+        ];
+        key[0] = key[0].wrapping_add(PHILOX_W0);
+        key[1] = key[1].wrapping_add(PHILOX_W1);
+    }
+    ctr
+}
+
+/// SplitMix64 finalizer — used to spread seeds/sub-keys over the full
+/// 64-bit space before they become Philox key/counter material.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An immutable random-stream identity with order-free access.
+///
+/// A stream is `(key, space)`: the 64-bit Philox key plus a 64-bit
+/// subspace id that occupies the high half of the 128-bit counter.
+/// Draw `i` is `philox(key, [space, i])` — a pure function, so any
+/// draw of any stream can be computed at any time, in any order, from
+/// a shared reference.
+///
+/// # Examples
+///
+/// ```
+/// use sdpcm_engine::RngStream;
+///
+/// let s = RngStream::from_seed_label(42, "disturb");
+/// let forward: Vec<u64> = (0..4).map(|i| s.at(i)).collect();
+/// let backward: Vec<u64> = (0..4).rev().map(|i| s.at(i)).collect();
+/// assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+///
+/// // Substreams derive without consuming draws:
+/// let line_a = s.keyed(0xA);
+/// let line_b = s.keyed(0xB);
+/// assert_ne!(line_a.at(0), line_b.at(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngStream {
+    key: [u32; 2],
+    space: u64,
+}
+
+impl RngStream {
+    /// Creates a stream from a raw 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> RngStream {
+        let k = splitmix64(seed);
+        RngStream {
+            key: [k as u32, (k >> 32) as u32],
+            space: splitmix64(k),
+        }
+    }
+
+    /// Creates a stream from an experiment seed and a component label.
+    #[must_use]
+    pub fn from_seed_label(seed: u64, label: &str) -> RngStream {
+        RngStream::from_seed(fold_label(seed, label))
+    }
+
+    /// Derives an independent substream for numeric key `k` (e.g. a line
+    /// address or an injection epoch). Chains freely:
+    /// `s.keyed(line).keyed(epoch)`. Consumes no draws and needs no
+    /// mutable access, so derivation is itself order-free.
+    #[must_use]
+    #[inline]
+    pub fn keyed(&self, k: u64) -> RngStream {
+        RngStream {
+            key: self.key,
+            space: splitmix64(self.space ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Derives an independent substream for a string label.
+    #[must_use]
+    pub fn labeled(&self, label: &str) -> RngStream {
+        RngStream {
+            key: self.key,
+            space: splitmix64(fold_label(self.space, label)),
+        }
+    }
+
+    /// Draw `i` of this stream — a pure function of `(self, i)`.
+    #[must_use]
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        let ctr = [
+            self.space as u32,
+            (self.space >> 32) as u32,
+            i as u32,
+            (i >> 32) as u32,
+        ];
+        let x = philox4x32_10(ctr, self.key);
+        u64::from(x[0]) | (u64::from(x[1]) << 32)
+    }
+
+    /// A sequential cursor over this stream, starting at draw 0.
+    #[must_use]
+    pub fn sequence(&self) -> SimRng {
+        SimRng {
+            stream: *self,
+            ctr: 0,
+        }
+    }
+}
+
+/// A deterministic random stream tied to `(seed, label)` — the
+/// sequential facade over [`RngStream`] (a stream plus a draw cursor).
 ///
 /// # Examples
 ///
@@ -28,26 +172,15 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    s: [u64; 4],
+    stream: RngStream,
+    ctr: u64,
 }
 
 impl SimRng {
     /// Creates a stream from a raw 64-bit seed.
     #[must_use]
     pub fn from_seed(seed: u64) -> SimRng {
-        // SplitMix64 expansion of the seed into the xoshiro state; the
-        // expanded words are never all zero.
-        let mut sm = seed;
-        let mut next = || {
-            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        };
-        SimRng {
-            s: [next(), next(), next(), next()],
-        }
+        RngStream::from_seed(seed).sequence()
     }
 
     /// Creates a stream from an experiment seed and a component label.
@@ -56,31 +189,40 @@ impl SimRng {
     /// yield statistically independent streams.
     #[must_use]
     pub fn from_seed_label(seed: u64, label: &str) -> SimRng {
-        SimRng::from_seed(fold_label(seed, label))
+        RngStream::from_seed_label(seed, label).sequence()
     }
 
     /// Derives a child stream; children with distinct labels are
     /// independent of each other and of the parent's future output.
+    /// Consumes one draw, so successive derivations with the same label
+    /// also differ.
     #[must_use]
     pub fn derive(&mut self, label: &str) -> SimRng {
         let base = self.next_u64();
         SimRng::from_seed(fold_label(base, label))
     }
 
-    /// Next raw 64-bit value (xoshiro256++).
+    /// Derives an order-free [`RngStream`] the same way [`SimRng::derive`]
+    /// derives a child cursor (consumes one draw).
+    #[must_use]
+    pub fn derive_stream(&mut self, label: &str) -> RngStream {
+        let base = self.next_u64();
+        RngStream::from_seed(fold_label(base, label))
+    }
+
+    /// The underlying order-free stream at the current cursor position's
+    /// identity (ignores the cursor).
+    #[must_use]
+    pub fn stream(&self) -> RngStream {
+        self.stream
+    }
+
+    /// Next raw 64-bit value: draw `ctr` of the stream, then advance.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
-        result
+        let v = self.stream.at(self.ctr);
+        self.ctr += 1;
+        v
     }
 
     /// Uniform value in `[0, bound)`.
@@ -237,6 +379,19 @@ impl ChanceGate {
     pub fn is_never(self) -> bool {
         self.threshold == ChanceGate::NEVER
     }
+
+    /// Decides the trial against raw draw `x` (as produced by
+    /// [`RngStream::at`]) without a cursor. `None` means the gate needs
+    /// no draw (sentinel probabilities).
+    #[must_use]
+    #[inline]
+    pub fn decide(self, x: u64) -> bool {
+        match self.threshold {
+            ChanceGate::NEVER => false,
+            ChanceGate::ALWAYS => true,
+            t => (x >> 11) < t,
+        }
+    }
 }
 
 fn fold_label(seed: u64, label: &str) -> u64 {
@@ -259,6 +414,27 @@ fn fold_label(seed: u64, label: &str) -> u64 {
 mod tests {
     use super::*;
 
+    /// Published Random123 known-answer vectors for philox4x32-10
+    /// (from the Random123 distribution's `kat_vectors` file).
+    #[test]
+    fn philox4x32_10_known_answers() {
+        assert_eq!(
+            philox4x32_10([0, 0, 0, 0], [0, 0]),
+            [0x6627_e8d5, 0xe169_c58d, 0xbc57_ac4c, 0x9b00_dbd8]
+        );
+        assert_eq!(
+            philox4x32_10([0xffff_ffff; 4], [0xffff_ffff, 0xffff_ffff]),
+            [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]
+        );
+        assert_eq!(
+            philox4x32_10(
+                [0x243f_6a88, 0x85a3_08d3, 0x1319_8a2e, 0x0370_7344],
+                [0xa409_3822, 0x299f_31d0]
+            ),
+            [0xd16c_fe09, 0x94fd_cceb, 0x5001_e420, 0x2412_6ea1]
+        );
+    }
+
     #[test]
     fn reproducible_streams() {
         let mut a = SimRng::from_seed_label(7, "x");
@@ -274,6 +450,87 @@ mod tests {
         let mut b = SimRng::from_seed_label(7, "y");
         let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_access_is_order_free() {
+        let s = RngStream::from_seed_label(123, "order");
+        let forward: Vec<u64> = (0..64).map(|i| s.at(i)).collect();
+        let backward: Vec<u64> = (0..64).rev().map(|i| s.at(i)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "draw i must not depend on draw order"
+        );
+        // And the sequential facade sees exactly the same values.
+        let mut seq = s.sequence();
+        for (i, &v) in forward.iter().enumerate() {
+            assert_eq!(seq.next_u64(), v, "cursor draw {i}");
+        }
+    }
+
+    #[test]
+    fn stream_access_is_thread_interleaving_free() {
+        // Eight threads draw overlapping windows of the same shared
+        // stream in different orders; all must agree with the serial
+        // reference. This is the property the bank-sharded advance
+        // relies on.
+        let s = RngStream::from_seed_label(7, "threads");
+        let reference: Vec<u64> = (0..256).map(|i| s.at(i)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let reference = &reference;
+                let s = &s;
+                scope.spawn(move || {
+                    // Each thread walks the window in a different stride
+                    // order.
+                    for k in 0..256u64 {
+                        let i = (k.wrapping_mul(2 * t + 1) + t * 37) % 256;
+                        assert_eq!(s.at(i), reference[i as usize]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn keyed_substreams_are_independent_and_stable() {
+        let s = RngStream::from_seed(99);
+        let a = s.keyed(1);
+        let b = s.keyed(2);
+        assert_ne!(a, b);
+        assert_ne!(a.at(0), b.at(0));
+        // Derivation is pure: same key, same substream, regardless of
+        // what else was derived in between.
+        let _ = s.keyed(77).keyed(3).at(5);
+        assert_eq!(s.keyed(1), a);
+        // Chained keys differ from single keys.
+        assert_ne!(s.keyed(1).keyed(2), s.keyed(2).keyed(1));
+        // Labeled substreams too.
+        assert_ne!(s.labeled("wl"), s.labeled("bl"));
+        assert_eq!(s.labeled("wl"), s.labeled("wl"));
+    }
+
+    #[test]
+    fn gate_decide_matches_cursor_gate() {
+        let s = RngStream::from_seed(4242);
+        for &p in &[0.0, 0.099, 0.115, 0.5, 0.999, 1.0] {
+            let gate = ChanceGate::new(p);
+            let mut seq = s.sequence();
+            for i in 0..512 {
+                // decide(at(i)) must agree with the cursor walking the
+                // same stream — gates never consume draws at extremes.
+                let raw = s.at(i);
+                let want = if p <= 0.0 {
+                    false
+                } else if p >= 1.0 {
+                    true
+                } else {
+                    seq.chance_gate(gate)
+                };
+                assert_eq!(gate.decide(raw), want, "p={p} i={i}");
+            }
+        }
     }
 
     #[test]
@@ -401,5 +658,8 @@ mod tests {
         let mut c1 = parent.derive("a");
         let mut c2 = parent.derive("a"); // different parent position
         assert_ne!(c1.next_u64(), c2.next_u64());
+        let s1 = parent.derive_stream("b");
+        let s2 = parent.derive_stream("b");
+        assert_ne!(s1.at(0), s2.at(0));
     }
 }

@@ -28,13 +28,13 @@ use std::collections::VecDeque;
 
 use sdpcm_engine::hash::{FxHashMap, FxHashSet};
 use sdpcm_engine::prof::{self, Site};
-use sdpcm_engine::{Cycle, SimRng};
+use sdpcm_engine::{Cycle, RngStream, SimRng};
 use sdpcm_osalloc::{NmRatio, VerifyPolicy};
 use sdpcm_pcm::ecp::EcpKind;
 use sdpcm_pcm::energy::{EnergyMeter, EnergyParams};
 use sdpcm_pcm::geometry::{LineAddr, MemGeometry};
 use sdpcm_pcm::line::{DiffMask, LineBuf};
-use sdpcm_pcm::store::{DeviceStore, InitContent};
+use sdpcm_pcm::store::{DeviceStore, InitContent, StoreLane};
 use sdpcm_pcm::timing::PcmTiming;
 use sdpcm_pcm::wear::{HardErrorModel, WriteClass};
 use sdpcm_wd::chaos::{ChaosAction, ChaosEngine, ChaosPlan, FaultEvent};
@@ -74,8 +74,10 @@ pub struct CtrlConfig {
     /// an escalated line is decommissioned into the salvage pool.
     /// Must exceed `ecp_retry_cap`.
     pub decommission_after: u32,
-    /// Capacity of the salvage pool (controller-held line buffers
-    /// serving decommissioned lines at `forward_latency`).
+    /// Capacity of each bank's salvage pool (controller-held line
+    /// buffers serving decommissioned lines at `forward_latency`).
+    /// Per bank so decommission decisions stay bank-local — a
+    /// requirement of the sharded advance path.
     pub salvage_pool_lines: usize,
 }
 
@@ -182,6 +184,1216 @@ impl Bank {
     }
 }
 
+/// Read-only context shared by every bank lane during processing.
+///
+/// Everything a lane needs that is not per-bank state: configuration,
+/// geometry, the verification policy, the (pure) disturbance injector,
+/// the DIN codec, and the counter-based key material for hard-error
+/// planting. All of it is either a shared borrow of controller state or
+/// `Copy` data, so one instance can be handed to many worker threads.
+struct LaneShared<'a> {
+    cfg: &'a CtrlConfig,
+    geometry: &'a MemGeometry,
+    policy: &'a VerifyPolicy,
+    injector: &'a WdInjector,
+    codec: &'a Option<DinCodec>,
+    hard_plan: Option<(HardErrorModel, f64)>,
+    /// Root stream for first-touch hard-error planting; each line draws
+    /// from `plant_stream.keyed(line.stream_key())`, so planting is
+    /// independent of the order lines are first touched in.
+    plant_stream: RngStream,
+    /// Whether lanes must remember committed write addresses for the
+    /// chaos harness (only while a chaos plan is installed).
+    track_commits: bool,
+}
+
+/// All mutable per-bank controller state.
+///
+/// Each bank owns its queues, its architectural metadata (DIN flags,
+/// salvage pool, degradation ladder), and — crucially — its *own
+/// permanent accumulators* (statistics, energy, completions). Per-bank
+/// accumulation keeps every floating-point and histogram sum in a fixed
+/// bank-local order regardless of how lanes are scheduled across worker
+/// threads; [`MemoryController::stats`] folds the lanes together in
+/// bank order at read time, so aggregate totals are path-independent.
+struct LaneState {
+    bank_id: u16,
+    bank: Bank,
+    /// DIN flags of lines in this bank.
+    flags: FxHashMap<LineAddr, DinFlags>,
+    /// Decommissioned lines and their architectural contents, served
+    /// from controller buffers at `forward_latency`.
+    salvaged: FxHashMap<LineAddr, LineBuf>,
+    /// LazyCorrection exhaustion events per line (degradation ladder).
+    distress: FxHashMap<LineAddr, u32>,
+    /// Lines past the retry cap: ECP buffering is no longer attempted.
+    escalated: FxHashSet<LineAddr>,
+    /// Lines whose first-touch hard errors have been planted.
+    planted: FxHashSet<LineAddr>,
+    /// Injection epoch per line: how many programming operations have
+    /// disturbed from this line so far. Keys the injector's event
+    /// stream, making each injection's draws independent of every
+    /// other line's activity.
+    inject_epochs: FxHashMap<LineAddr, u64>,
+    /// This lane's statistics slice (bank-local accumulation order).
+    stats: CtrlStats,
+    /// This lane's energy slice.
+    energy: EnergyMeter,
+    /// Completions queued by this lane, drained by `advance_into`.
+    completions: Vec<Completion>,
+    /// Earliest queued completion (exact: pushes can only lower it,
+    /// drains recompute it).
+    completion_min: Option<Cycle>,
+    /// First broken deep invariant seen by this lane, surfaced as a
+    /// `CtrlError` at the next `submit`/`advance`.
+    pending_anomaly: Option<&'static str>,
+    /// Next sequence number for internal (gap-move) request IDs.
+    next_internal_seq: u64,
+    /// Scratch: word-line victims of the most recent injection.
+    wl_scratch: Vec<u16>,
+    /// Scratch: per-side bit-line victims of the most recent
+    /// [`Lane::inject_for`] call — valid until the next one.
+    bl_hits: [Vec<u16>; 2],
+    /// Committed write addresses not yet handed to the chaos harness
+    /// (only populated while a chaos plan is installed).
+    recent_commits: Vec<LineAddr>,
+}
+
+impl LaneState {
+    fn new(bank_id: u16) -> LaneState {
+        LaneState {
+            bank_id,
+            bank: Bank::default(),
+            flags: FxHashMap::default(),
+            salvaged: FxHashMap::default(),
+            distress: FxHashMap::default(),
+            escalated: FxHashSet::default(),
+            planted: FxHashSet::default(),
+            inject_epochs: FxHashMap::default(),
+            stats: CtrlStats::new(),
+            energy: EnergyMeter::new(EnergyParams::default()),
+            completions: Vec::new(),
+            completion_min: None,
+            pending_anomaly: None,
+            next_internal_seq: 0,
+            wl_scratch: Vec::new(),
+            bl_hits: [Vec::new(), Vec::new()],
+            recent_commits: Vec::new(),
+        }
+    }
+
+    /// Queues a completion, keeping the earliest-completion cache exact.
+    fn push_completion(&mut self, c: Completion) {
+        if self.completion_min.is_none_or(|m| c.at < m) {
+            self.completion_min = Some(c.at);
+        }
+        self.completions.push(c);
+    }
+
+    /// Records a broken deep invariant; the first one is surfaced as a
+    /// [`CtrlError::InternalAnomaly`] at the next API-boundary call.
+    fn note_anomaly(&mut self, what: &'static str) {
+        self.stats.internal_anomalies.inc();
+        if self.pending_anomaly.is_none() {
+            self.pending_anomaly = Some(what);
+        }
+    }
+
+    /// Allocates a request ID for an internal (gap-move) write. IDs
+    /// count down from the top of a per-bank window so they never
+    /// collide with demand IDs or with another bank's internal IDs.
+    fn alloc_internal_id(&mut self) -> ReqId {
+        let id = u64::MAX - (u64::from(self.bank_id) << 40) - self.next_internal_seq;
+        self.next_internal_seq += 1;
+        ReqId(id)
+    }
+}
+
+/// A bank lane: one bank's mutable state plus its disjoint slice of the
+/// device store, processed against the shared read-only context. The
+/// entire per-bank controller logic lives here; lanes touch nothing
+/// outside their own bank (bit-line neighbours are same-bank adjacent
+/// rows), so distinct lanes can run on distinct threads.
+struct Lane<'a, 's> {
+    sh: &'a LaneShared<'a>,
+    ls: &'a mut LaneState,
+    store: &'a mut StoreLane<'s>,
+}
+
+/// Runs one lane's due work on each `(LaneState, StoreLane)` pair of a
+/// worker's chunk — the body of both the spawned threads and the main
+/// thread's share of [`MemoryController::process_until_parallel`].
+fn run_lane_chunk(sh: &LaneShared<'_>, chunk: &mut [(&mut LaneState, StoreLane<'_>)], now: Cycle) {
+    for (ls, store) in chunk.iter_mut() {
+        Lane { sh, ls, store }.process_lane_until(now);
+    }
+}
+
+/// Clears from `patched` every cell of `line` that `job` still tracks
+/// as disturbed-but-unfixed: cells of queued corrections and ECP
+/// records, cascade victims awaiting verification, and injected
+/// bit-line victims whose post-read has not resolved yet. Used by
+/// decommissioning to reconstruct the true architectural content.
+fn cleanse_job_disturbances(
+    geometry: &MemGeometry,
+    job: &WriteJob,
+    line: LineAddr,
+    patched: &mut LineBuf,
+) {
+    for s in &job.steps {
+        match s {
+            Step::Correction { line: l, cells } | Step::EcpWrite { line: l, cells }
+                if *l == line =>
+            {
+                for &bit in cells {
+                    patched.set_bit(bit as usize, false);
+                }
+            }
+            _ => {}
+        }
+    }
+    for (l, cells) in &job.cascade_pending {
+        if *l == line {
+            for &bit in cells {
+                patched.set_bit(bit as usize, false);
+            }
+        }
+    }
+    let neighbors = geometry.bitline_neighbors(job.entry.access.addr);
+    for side in Side::BOTH {
+        if neighbors[side.idx()] == Some(line) {
+            for &bit in &job.injected[side.idx()] {
+                patched.set_bit(bit as usize, false);
+            }
+        }
+    }
+}
+
+impl Lane<'_, '_> {
+    /// Brings this lane current to `now`: completes every due bank
+    /// operation in sequence and re-dispatches after each. Lanes are
+    /// mutually independent, so processing one to completion before
+    /// (or concurrently with) another yields the same per-lane states
+    /// as the old global time-ordered interleave.
+    fn process_lane_until(&mut self, now: Cycle) {
+        while self.ls.bank.op.is_some() && self.ls.bank.busy_until <= now {
+            let at = self.ls.bank.busy_until;
+            self.complete_op(at);
+            self.dispatch(at);
+        }
+    }
+
+    /// The architectural (error-corrected, DIN-decoded) contents of a
+    /// line in this bank — zero simulated time.
+    fn architectural_line(&self, addr: LineAddr) -> LineBuf {
+        if let Some(data) = self.ls.salvaged.get(&addr) {
+            return *data;
+        }
+        let patched = self.store.read_line(addr);
+        match self.sh.codec {
+            Some(codec) => {
+                let flags = self.ls.flags.get(&addr).copied().unwrap_or_default();
+                codec.decode(&patched, flags)
+            }
+            None => patched,
+        }
+    }
+
+    // ----- submission -----
+
+    fn submit_read(&mut self, access: Access, now: Cycle) {
+        // Decommissioned lines live in controller buffers: no bank
+        // operation, no disturbance, `forward_latency` to answer.
+        if let Some(data) = self.ls.salvaged.get(&access.addr).copied() {
+            self.ls.stats.salvaged_reads.inc();
+            self.ls.stats.reads.inc();
+            let at = now + self.sh.cfg.forward_latency;
+            self.ls.stats.read_latency_total += at - access.arrive;
+            self.ls
+                .stats
+                .read_latency_sketch
+                .record((at - access.arrive).0);
+            self.ls.push_completion(Completion {
+                id: access.id,
+                at,
+                was_write: false,
+                data: Some(data),
+            });
+            return;
+        }
+        // Forward from the write queue (newest entry wins) or from the
+        // write job in flight.
+        let from_queue = if self.ls.bank.wq_contains(access.addr) {
+            self.ls
+                .bank
+                .write_q
+                .iter()
+                .rev()
+                .find(|e| e.access.addr == access.addr)
+                .map(|e| e.access.kind)
+        } else {
+            None
+        };
+        let forwarded = from_queue
+            .or_else(|| match &self.ls.bank.op {
+                Some(BankOp::Write(job)) if job.entry.access.addr == access.addr => {
+                    Some(job.entry.access.kind)
+                }
+                _ => None,
+            })
+            .or_else(|| {
+                self.ls
+                    .bank
+                    .paused
+                    .as_ref()
+                    .filter(|job| job.entry.access.addr == access.addr)
+                    .map(|job| job.entry.access.kind)
+            });
+        if let Some(AccessKind::Write(data)) = forwarded {
+            self.ls.stats.read_forwards.inc();
+            self.ls.stats.reads.inc();
+            let at = now + self.sh.cfg.forward_latency;
+            self.ls.stats.read_latency_total += at - access.arrive;
+            self.ls
+                .stats
+                .read_latency_sketch
+                .record((at - access.arrive).0);
+            self.ls.push_completion(Completion {
+                id: access.id,
+                at,
+                was_write: false,
+                data: Some(data),
+            });
+            return;
+        }
+        self.ls.bank.read_q.push_back(access);
+        // Write cancellation: a pending read cancels an uncommitted write.
+        if self.sh.cfg.scheme.write_cancellation {
+            self.try_cancel(now);
+        }
+    }
+
+    fn submit_write(&mut self, access: Access, data: LineBuf, now: Cycle) {
+        // Decommissioned lines absorb writes in their controller buffer.
+        if let Some(buf) = self.ls.salvaged.get_mut(&access.addr) {
+            *buf = data;
+            self.ls.stats.salvaged_writes.inc();
+            let at = now + self.sh.cfg.forward_latency;
+            self.ls.push_completion(Completion {
+                id: access.id,
+                at,
+                was_write: true,
+                data: None,
+            });
+            return;
+        }
+        // Coalesce with a queued write to the same line.
+        if self.ls.bank.wq_contains(access.addr) {
+            if let Some(e) = self
+                .ls
+                .bank
+                .write_q
+                .iter_mut()
+                .find(|e| e.access.addr == access.addr)
+            {
+                e.access.kind = AccessKind::Write(data);
+                self.ls.push_completion(Completion {
+                    id: access.id,
+                    at: now,
+                    was_write: true,
+                    data: None,
+                });
+                return;
+            }
+        }
+        let mut entry = WqEntry::new(access);
+        if self.sh.cfg.scheme.preread {
+            self.forward_prereads(&mut entry);
+        }
+        let addr = entry.access.addr;
+        self.ls.bank.write_q.push_back(entry);
+        self.ls.bank.wq_note_push(addr);
+        if self.ls.bank.write_q.len() >= self.sh.cfg.write_queue_cap {
+            self.arm_drain();
+        }
+    }
+
+    fn arm_drain(&mut self) {
+        if !self.ls.bank.draining {
+            self.ls.stats.drains.inc();
+            self.ls.bank.draining = true;
+        }
+        self.ls.bank.drain_left = self.ls.bank.drain_left.max(self.sh.cfg.drain_burst);
+    }
+
+    /// PreRead forwarding: if an adjacent line of `entry` has a pending
+    /// write in the queue, its up-to-date data is forwarded — no bank
+    /// operation needed (§4.3).
+    fn forward_prereads(&mut self, entry: &mut WqEntry) {
+        let neighbors = self.sh.geometry.bitline_neighbors(entry.access.addr);
+        for side in Side::BOTH {
+            if entry.pr_done[side.idx()] {
+                continue;
+            }
+            let Some(n) = neighbors[side.idx()] else {
+                continue;
+            };
+            if !self.ls.bank.wq_contains(n) {
+                continue;
+            }
+            let queued = self
+                .ls
+                .bank
+                .write_q
+                .iter()
+                .rev()
+                .find(|e| e.access.addr == n);
+            if let Some(e) = queued {
+                if let AccessKind::Write(data) = e.access.kind {
+                    entry.pr_done[side.idx()] = true;
+                    entry.pr_buf[side.idx()] = Some(data);
+                    self.ls.stats.preread_forwards.inc();
+                }
+            }
+        }
+    }
+
+    // ----- scheduling -----
+
+    fn dispatch(&mut self, now: Cycle) {
+        if self.ls.bank.op.is_some() {
+            return;
+        }
+        let wc = self.sh.cfg.scheme.write_cancellation;
+        let wp = self.sh.cfg.scheme.write_pausing;
+        loop {
+            let b = &mut self.ls.bank;
+            if b.draining {
+                if wc || wp {
+                    if let Some(access) = b.read_q.pop_front() {
+                        self.start_read(access, now);
+                        return;
+                    }
+                }
+                if let Some(mut job) = b.paused.take() {
+                    let dur = self.step_duration(&mut job);
+                    self.ls.bank.busy_until = now + dur;
+                    self.ls.bank.op = Some(BankOp::Write(job));
+                    return;
+                }
+                // Service one burst's worth of writes, then release the
+                // bank back to reads (end-of-run flushes go all the way).
+                let b = &mut self.ls.bank;
+                if b.drain_left > 0 || b.flushing {
+                    if let Some(entry) = b.write_q.pop_front() {
+                        b.wq_note_remove(entry.access.addr);
+                        b.drain_left = b.drain_left.saturating_sub(1);
+                        self.start_write(entry, now);
+                        return;
+                    }
+                }
+                b.draining = false;
+                b.flushing = false;
+                continue;
+            }
+            if let Some(access) = b.read_q.pop_front() {
+                self.start_read(access, now);
+                return;
+            }
+            if let Some(mut job) = b.paused.take() {
+                let dur = self.step_duration(&mut job);
+                self.ls.bank.busy_until = now + dur;
+                self.ls.bank.op = Some(BankOp::Write(job));
+                return;
+            }
+            if b.write_q.len() >= self.sh.cfg.write_queue_cap {
+                self.arm_drain();
+                continue;
+            }
+            if self.sh.cfg.scheme.preread && self.try_issue_preread(now) {
+                return;
+            }
+            return; // idle
+        }
+    }
+
+    fn start_read(&mut self, access: Access, now: Cycle) {
+        self.ls.bank.busy_until = now + self.sh.cfg.timing.read;
+        self.ls.bank.op = Some(BankOp::Read(access));
+    }
+
+    fn start_write(&mut self, entry: WqEntry, now: Cycle) {
+        let need = self.verify_need(&entry.access);
+        let mut job = WriteJob::new(entry, need.0, need.1, self.sh.cfg.scheme.own_line_verify);
+        let dur = self.step_duration(&mut job);
+        self.ls.bank.busy_until = now + dur;
+        self.ls.bank.op = Some(BankOp::Write(Box::new(job)));
+    }
+
+    /// Which neighbours of this write need verification: scheme VnC off →
+    /// none; otherwise the (n:m) policy decides, and physically absent
+    /// neighbours (bank edges) or decommissioned ones (served from the
+    /// salvage pool, nothing architectural to protect) never need it.
+    fn verify_need(&self, access: &Access) -> (bool, bool) {
+        if !self.sh.cfg.scheme.vnc {
+            return (false, false);
+        }
+        let strip = self.sh.geometry.strip_of(access.addr);
+        let need = self.sh.policy.need(access.ratio, strip);
+        let nb = self.sh.geometry.bitline_neighbors(access.addr);
+        let live = |n: Option<LineAddr>| n.is_some_and(|n| !self.ls.salvaged.contains_key(&n));
+        (need.up && live(nb[0]), need.down && live(nb[1]))
+    }
+
+    fn try_issue_preread(&mut self, now: Cycle) -> bool {
+        // Oldest queued write with an outstanding, needed pre-read. The
+        // scan only needs shared borrows, so the queue is walked in place
+        // rather than snapshotted.
+        let mut target: Option<(LineAddr, Side)> = None;
+        if self.sh.cfg.scheme.vnc {
+            let cap = self.sh.cfg.write_queue_cap;
+            'scan: for e in self.ls.bank.write_q.iter().take(cap) {
+                let addr = e.access.addr;
+                let strip = self.sh.geometry.strip_of(addr);
+                let need = self.sh.policy.need(e.access.ratio, strip);
+                let nb = self.sh.geometry.bitline_neighbors(addr);
+                for side in Side::BOTH {
+                    let needed = match side {
+                        Side::Up => need.up,
+                        Side::Down => need.down,
+                    } && nb[side.idx()]
+                        .is_some_and(|n| !self.ls.salvaged.contains_key(&n));
+                    if needed && !e.pr_done[side.idx()] {
+                        target = Some((addr, side));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        let Some((write_line, side)) = target else {
+            return false;
+        };
+        self.ls.bank.busy_until = now + self.sh.cfg.timing.read;
+        self.ls.bank.op = Some(BankOp::IdlePreRead { write_line, side });
+        true
+    }
+
+    /// Cancels the uncommitted write in flight on this bank, if any
+    /// (§6.8).
+    ///
+    /// A cancellation during the array-write phase leaves physically
+    /// disturbed cells in the adjacent lines (the RESET pulses already
+    /// fired). Serving a read from such a line before the retried write
+    /// verifies it would return corrupt data, so the collateral must be
+    /// absorbed into the victims' ECP entries at cancel time; when the
+    /// entries do not fit (or LazyCorrection is off), the cancellation is
+    /// *denied* and the write runs to completion — the paper's own
+    /// warning that "canceling writes in super dense PCM is not
+    /// desirable" (§6.8) made concrete.
+    fn try_cancel(&mut self, now: Cycle) {
+        let cancel = matches!(
+            &self.ls.bank.op,
+            Some(BankOp::Write(job)) if !job.committed
+        );
+        if !cancel {
+            return;
+        }
+        // Peek: can the array-write collateral be absorbed?
+        if let Some(BankOp::Write(job)) = &self.ls.bank.op {
+            if matches!(job.steps.front(), Some(Step::ArrayWrite)) {
+                let addr = job.entry.access.addr;
+                let Some(diff) = job.diff else {
+                    // The diff is computed when the phase is scheduled;
+                    // its absence is a bookkeeping bug. Deny the cancel
+                    // (the write runs to completion) and surface it.
+                    self.ls
+                        .note_anomaly("array-write phase in flight without its diff");
+                    return;
+                };
+                if !self.absorb_cancel_collateral(addr, &diff) {
+                    return; // denied: corruption could not be buffered
+                }
+            }
+        }
+        match self.ls.bank.op.take() {
+            Some(BankOp::Write(job)) => {
+                self.ls.stats.write_cancellations.inc();
+                let addr = job.entry.access.addr;
+                self.ls.bank.write_q.push_front(job.entry);
+                self.ls.bank.wq_note_push(addr);
+                self.ls.bank.busy_until = now;
+                self.dispatch(now);
+            }
+            other => {
+                self.ls.bank.op = other;
+                self.ls
+                    .note_anomaly("cancellation target changed type mid-check");
+            }
+        }
+    }
+
+    /// Rolls the disturbance of a half-finished (cancelled) array write
+    /// and buffers every bit-line victim in its line's ECP table.
+    /// Returns `false` — without injecting — when the victims cannot all
+    /// be buffered. Own-line word-line flips need no buffering: reads of
+    /// the line are forwarded from the queued write's data, and the
+    /// retried differential write re-programs the flipped cells.
+    fn absorb_cancel_collateral(&mut self, addr: LineAddr, diff: &DiffMask) -> bool {
+        if !self.sh.cfg.scheme.lazy_correction {
+            // Without LazyC there is no place to buffer the victims.
+            // Only disturbance-free cancellations can proceed.
+            let neighbors = self.sh.geometry.bitline_neighbors(addr);
+            let would_disturb = neighbors.iter().flatten().any(|n| {
+                let raw = self.store.raw_line(*n);
+                sdpcm_wd::pattern::bitline_any_vulnerable(diff, &raw)
+            });
+            if would_disturb {
+                return false;
+            }
+        }
+        // Check capacity first (no side effects on denial).
+        let neighbors = self.sh.geometry.bitline_neighbors(addr);
+        for n in neighbors.iter().flatten() {
+            let raw = self.store.raw_line(*n);
+            let vulnerable = sdpcm_wd::pattern::bitline_vulnerable_count(diff, &raw);
+            let free = self
+                .store
+                .ecp_ref(*n)
+                .map_or(self.sh.cfg.ecp_entries, |t| t.free_slots());
+            if vulnerable > free {
+                return false;
+            }
+        }
+        // Inject and buffer. The own-line word-line victims need no
+        // handling here (reads forward from the queued entry, and the
+        // retried write re-programs them). The retried write's injection
+        // draws come from the line's next epoch, so the cancelled
+        // epoch's draws stay consumed exactly once.
+        let _ = self.inject_for(addr, diff, None);
+        for side in Side::BOTH {
+            if let Some(n) = neighbors[side.idx()] {
+                let cells = std::mem::take(&mut self.ls.bl_hits[side.idx()]);
+                if !cells.is_empty() {
+                    self.record_ecp(n, &cells);
+                }
+                self.ls.bl_hits[side.idx()] = cells;
+            }
+        }
+        true
+    }
+
+    // ----- execution -----
+
+    fn complete_op(&mut self, at: Cycle) {
+        let Some(op) = self.ls.bank.op.take() else {
+            self.ls.note_anomaly("completion fired on an idle bank");
+            return;
+        };
+        match op {
+            BankOp::Read(access) => {
+                self.ls.stats.reads.inc();
+                self.ls.stats.read_latency_total += at - access.arrive;
+                self.ls
+                    .stats
+                    .read_latency_sketch
+                    .record((at - access.arrive).0);
+                self.ls.energy.charge_read(512, false);
+                let data = self.architectural_line(access.addr);
+                self.ls.push_completion(Completion {
+                    id: access.id,
+                    at,
+                    was_write: false,
+                    data: Some(data),
+                });
+            }
+            BankOp::IdlePreRead { write_line, side } => {
+                self.ls.energy.charge_read(512, true);
+                let data = self.sh.geometry.bitline_neighbors(write_line)[side.idx()]
+                    .map(|n| self.architectural_line(n));
+                if self.ls.bank.wq_contains(write_line) {
+                    if let Some(e) = self
+                        .ls
+                        .bank
+                        .write_q
+                        .iter_mut()
+                        .find(|e| e.access.addr == write_line)
+                    {
+                        e.pr_done[side.idx()] = true;
+                        e.pr_buf[side.idx()] = data;
+                    }
+                }
+                self.ls.stats.prereads_issued.inc();
+            }
+            BankOp::Write(mut job) => {
+                self.finish_step(&mut job, at);
+                job.steps_done += 1;
+                if job.steps_done >= MAX_JOB_STEPS {
+                    self.ls.stats.cascade_overflows.inc();
+                    job.steps.clear();
+                }
+                if job.steps.is_empty() {
+                    // Job done; completion was pushed at commit.
+                } else if self.sh.cfg.scheme.write_pausing
+                    && !self.ls.bank.read_q.is_empty()
+                    && self.pause_is_safe(&job)
+                {
+                    // Set the job aside between phases so the pending
+                    // reads go first; dispatch resumes it afterwards.
+                    self.ls.stats.write_pauses.inc();
+                    self.ls.bank.paused = Some(job);
+                } else {
+                    let dur = self.step_duration(&mut job);
+                    self.ls.bank.busy_until = at + dur;
+                    self.ls.bank.op = Some(BankOp::Write(job));
+                }
+            }
+        }
+    }
+
+    /// Computes the duration of the job's front step, performing the
+    /// pure pre-computation (DIN encode + diff) for array writes.
+    fn step_duration(&mut self, job: &mut WriteJob) -> Cycle {
+        let t = self.sh.cfg.timing;
+        let Some(step) = job.steps.front() else {
+            self.ls
+                .note_anomaly("write job scheduled with no remaining step");
+            return Cycle(1);
+        };
+        match step {
+            Step::PreRead(_) | Step::OwnVerify | Step::PostRead(_) | Step::CascadeVerify(_) => {
+                t.read
+            }
+            Step::ArrayWrite => {
+                let addr = job.entry.access.addr;
+                let AccessKind::Write(plain) = job.entry.access.kind else {
+                    self.ls
+                        .note_anomaly("array-write step on a non-write access");
+                    return t.read;
+                };
+                self.plant_hard(addr);
+                let raw_old = self.store.raw_line(addr);
+                let (encoded, new_flags) = match self.sh.codec {
+                    Some(codec) => {
+                        let old_flags = self.ls.flags.get(&addr).copied().unwrap_or_default();
+                        codec.encode(&plain, &raw_old, old_flags)
+                    }
+                    None => (plain, DinFlags::default()),
+                };
+                let diff = DiffMask::between(&raw_old, &encoded);
+                let dur = t.write_latency(&diff);
+                job.diff = Some(diff);
+                job.encoded = Some(encoded);
+                job.new_flags = new_flags;
+                dur
+            }
+            Step::OwnFix => t.correction_latency(job.pending_wl.len() as u32),
+            Step::EcpWrite { .. } => t.reset_pulse,
+            Step::Correction { cells, .. } => t.correction_latency(cells.len() as u32),
+        }
+    }
+
+    /// Applies the side effects of the completed front step and extends
+    /// the program as VnC demands.
+    fn finish_step(&mut self, job: &mut WriteJob, at: Cycle) {
+        let Some(step) = job.steps.pop_front() else {
+            self.ls
+                .note_anomaly("write job completed with no step to finish");
+            return;
+        };
+        let t = self.sh.cfg.timing;
+        let addr = job.entry.access.addr;
+        match step {
+            Step::PreRead(side) => {
+                self.ls.stats.phases.pre_reads += t.read;
+                self.ls.energy.charge_read(512, true);
+                let data = self.sh.geometry.bitline_neighbors(addr)[side.idx()]
+                    .map(|n| self.architectural_line(n));
+                job.entry.pr_done[side.idx()] = true;
+                job.entry.pr_buf[side.idx()] = data;
+            }
+            Step::ArrayWrite => {
+                let (Some(diff), Some(encoded)) = (job.diff.take(), job.encoded.take()) else {
+                    self.ls
+                        .note_anomaly("array write lost its precomputed encoding");
+                    job.steps.clear();
+                    return;
+                };
+                let dur = t.write_latency(&diff);
+                self.ls.stats.phases.array_writes += dur;
+                self.ls
+                    .energy
+                    .charge_write(diff.set_count(), diff.reset_count(), false);
+                self.store.apply_write(addr, &diff, WriteClass::Normal);
+                self.store.refresh_hard_values(addr, &encoded);
+                if self.sh.codec.is_some() {
+                    self.ls.flags.insert(addr, job.new_flags);
+                }
+                // A normal write clears the line's own buffered WD errors
+                // (LazyCorrection consolidation, §4.2).
+                self.store.ecp_mut(addr).clear_disturb();
+                job.committed = true;
+                self.ls.stats.writes.inc();
+                self.ls.push_completion(Completion {
+                    id: job.entry.access.id,
+                    at,
+                    was_write: true,
+                    data: None,
+                });
+                // Disturbance injection.
+                let wl = self.inject_for(addr, &diff, Some(&mut job.pending_wl));
+                self.ls.stats.wl_errors.record(wl as u64);
+                let neighbors = self.sh.geometry.bitline_neighbors(addr);
+                for side in Side::BOTH {
+                    if neighbors[side.idx()].is_some() {
+                        self.ls
+                            .stats
+                            .bl_errors_per_neighbor
+                            .record(self.ls.bl_hits[side.idx()].len() as u64);
+                    }
+                    job.injected[side.idx()].extend_from_slice(&self.ls.bl_hits[side.idx()]);
+                }
+                // Chaos bookkeeping: the controller drains these after
+                // the lane call returns (serial chaos path only).
+                if self.sh.track_commits {
+                    self.ls.recent_commits.push(addr);
+                }
+            }
+            Step::OwnVerify => {
+                self.ls.stats.phases.own_verifies += t.read;
+                self.ls.energy.charge_read(512, true);
+                if !job.pending_wl.is_empty() {
+                    job.steps.push_front(Step::OwnFix);
+                }
+            }
+            Step::OwnFix => {
+                let _t = prof::timer(Site::CtrlCorrect);
+                let cells = std::mem::take(&mut job.pending_wl);
+                let dur = t.correction_latency(cells.len() as u32);
+                self.ls.stats.phases.own_fixes += dur;
+                let fix = DiffMask::reset_only_cells(&cells);
+                self.ls.energy.charge_write(0, fix.reset_count(), true);
+                self.store.apply_write(addr, &fix, WriteClass::WordlineFix);
+                // The fix's RESET pulses disturb again.
+                let _ = self.inject_for(addr, &fix, Some(&mut job.pending_wl));
+                for side in Side::BOTH {
+                    job.injected[side.idx()].extend_from_slice(&self.ls.bl_hits[side.idx()]);
+                }
+                if !job.pending_wl.is_empty() {
+                    job.steps.push_front(Step::OwnFix);
+                }
+            }
+            Step::PostRead(side) => {
+                self.ls.stats.phases.post_reads += t.read;
+                self.ls.stats.verification_ops.inc();
+                self.ls.energy.charge_read(512, true);
+                let Some(neighbor) = self.sh.geometry.bitline_neighbors(addr)[side.idx()] else {
+                    return;
+                };
+                let new_errors = std::mem::take(&mut job.injected[side.idx()]);
+                self.resolve_verification(job, neighbor, new_errors, at);
+            }
+            Step::CascadeVerify(line) => {
+                self.ls.stats.phases.cascade_reads += t.read;
+                self.ls.stats.verification_ops.inc();
+                self.ls.stats.cascade_rounds.inc();
+                self.ls.energy.charge_read(512, true);
+                let new_errors = job.take_cascade(line);
+                self.resolve_verification(job, line, new_errors, at);
+            }
+            Step::EcpWrite { line, cells } => {
+                self.ls.stats.phases.ecp_writes += t.reset_pulse;
+                self.record_ecp(line, &cells);
+            }
+            Step::Correction { line, cells } => {
+                let _t = prof::timer(Site::CtrlCorrect);
+                let dur = t.correction_latency(cells.len() as u32);
+                self.ls.stats.phases.corrections += dur;
+                self.ls.stats.correction_ops.inc();
+                self.ls.stats.corrected_cells.add(cells.len() as u64);
+                let fix = DiffMask::reset_only_cells(&cells);
+                self.ls.energy.charge_write(0, fix.reset_count(), true);
+                self.store.apply_write(line, &fix, WriteClass::Correction);
+                self.store.ecp_mut(line).clear_disturb();
+                // The correction's RESET pulses disturb the corrected
+                // line's own word-line cells and its bit-line neighbours:
+                // cascading verification (§3.2).
+                let mut own_wl = Vec::new();
+                let _ = self.inject_for(line, &fix, Some(&mut own_wl));
+                if !own_wl.is_empty() {
+                    job.add_cascade(line, own_wl);
+                    if !job.has_cascade_step(line) {
+                        job.steps.push_front(Step::CascadeVerify(line));
+                    }
+                }
+                let strip = self.sh.geometry.strip_of(line);
+                let need = self.sh.policy.need(job.entry.access.ratio, strip);
+                let neighbors = self.sh.geometry.bitline_neighbors(line);
+                for side in Side::BOTH {
+                    let victims = &self.ls.bl_hits[side.idx()];
+                    if victims.is_empty() {
+                        continue;
+                    }
+                    let needed = match side {
+                        Side::Up => need.up,
+                        Side::Down => need.down,
+                    };
+                    if !needed {
+                        continue; // no-use strip: nothing to protect
+                    }
+                    let Some(n) = neighbors[side.idx()] else {
+                        continue;
+                    };
+                    job.add_cascade(n, victims.clone());
+                    if !job.has_cascade_step(n) {
+                        job.steps.push_front(Step::CascadeVerify(n));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Injects disturbances for a committed programming operation on
+    /// `addr`: word-line victims inside the line (appended to `wl_out`
+    /// when given) and bit-line victims in both physical neighbours,
+    /// left in `self.ls.bl_hits` until the next call. Returns the
+    /// word-line victim count.
+    ///
+    /// Every injection draws from the injector's *event stream* keyed
+    /// by `(line, epoch)` — the line's stable address key plus a
+    /// per-line count of programming operations — so the outcome
+    /// depends only on the line's own history, never on what other
+    /// lines (or banks, or worker threads) did in between. All buffers
+    /// are lane-held scratch — the hot path allocates nothing once
+    /// their capacities have grown.
+    fn inject_for(
+        &mut self,
+        addr: LineAddr,
+        diff: &DiffMask,
+        wl_out: Option<&mut Vec<u16>>,
+    ) -> usize {
+        let epoch = {
+            let e = self.ls.inject_epochs.entry(addr).or_insert(0);
+            let epoch = *e;
+            *e += 1;
+            epoch
+        };
+        let ev = self.sh.injector.event(addr.stream_key(), epoch);
+        let after = self.store.raw_line(addr);
+        let mut wl = std::mem::take(&mut self.ls.wl_scratch);
+        self.sh
+            .injector
+            .draw_wordline_into(&ev, &after, diff, &mut wl);
+        // Only cells that physically flipped count: stuck cells cannot
+        // crystallize, and the hardware's pre/post-read comparison would
+        // show no change for them either.
+        wl.retain(|&bit| self.store.inject_disturb(addr, bit));
+        let wl_count = wl.len();
+        if let Some(out) = wl_out {
+            out.extend_from_slice(&wl);
+        }
+        self.ls.wl_scratch = wl;
+        let neighbors = self.sh.geometry.bitline_neighbors(addr);
+        for side in Side::BOTH {
+            let mut victims = std::mem::take(&mut self.ls.bl_hits[side.idx()]);
+            victims.clear();
+            if let Some(n) = neighbors[side.idx()] {
+                // Decommissioned lines are no longer programmed in the
+                // array, so they can neither disturb nor be disturbed.
+                if !self.ls.salvaged.contains_key(&n) {
+                    let raw = self.store.raw_line(n);
+                    self.sh
+                        .injector
+                        .draw_bitline_into(&ev, side.idx(), diff, &raw, &mut victims);
+                    victims.retain(|&bit| self.store.inject_disturb(n, bit));
+                }
+            }
+            self.ls.bl_hits[side.idx()] = victims;
+        }
+        wl_count
+    }
+
+    /// LazyCorrection-or-correct decision after a verification read found
+    /// `new_errors` in `line` (§4.2), extended with the graceful
+    /// degradation ladder for ECP exhaustion:
+    ///
+    /// 1. **Bounded retry** — the first `ecp_retry_cap` exhaustions on a
+    ///    line fall back to an immediate verify-and-correct pass but keep
+    ///    LazyCorrection armed (the next errors may again fit the table).
+    /// 2. **Escalation** — past the cap the line stops attempting ECP
+    ///    buffering entirely; every new error is corrected on the spot.
+    /// 3. **Decommission** — a line that keeps accumulating distress even
+    ///    under immediate correction is remapped into the salvage pool.
+    fn resolve_verification(
+        &mut self,
+        job: &mut WriteJob,
+        line: LineAddr,
+        new_errors: Vec<u16>,
+        at: Cycle,
+    ) {
+        let _t = prof::timer(Site::CtrlVerify);
+        if self.ls.salvaged.contains_key(&line) {
+            return;
+        }
+        self.plant_hard_excluding(line, &new_errors);
+        self.ls
+            .stats
+            .errors_per_verification
+            .record(new_errors.len() as u64);
+        if new_errors.is_empty() {
+            return;
+        }
+        let free_slots = self
+            .store
+            .ecp_ref(line)
+            .map_or(self.sh.cfg.ecp_entries, |t| t.free_slots());
+        if self.sh.cfg.scheme.lazy_correction {
+            if self.ls.escalated.contains(&line) {
+                // Rung 2: buffering is abandoned for this line; count
+                // distress toward the decommission threshold.
+                let d = self.ls.distress.entry(line).or_insert(0);
+                *d += 1;
+                let d = *d;
+                if d >= self.sh.cfg.decommission_after
+                    && self.try_decommission(line, job, &new_errors, at)
+                {
+                    return;
+                }
+                self.ls.stats.immediate_corrections.inc();
+            } else if new_errors.len() <= free_slots {
+                if self.sh.cfg.scheme.ecp_write_inline {
+                    job.steps.push_front(Step::EcpWrite {
+                        line,
+                        cells: new_errors,
+                    });
+                } else {
+                    // The record targets the separate ECP chip and overlaps
+                    // with the bank's next data operation.
+                    self.record_ecp(line, &new_errors);
+                }
+                return;
+            } else {
+                // The table cannot absorb this batch.
+                self.ls.stats.ecp_exhaustions.inc();
+                let d = self.ls.distress.entry(line).or_insert(0);
+                *d += 1;
+                if *d <= self.sh.cfg.ecp_retry_cap {
+                    // Rung 1: correct now, retry buffering next time.
+                    self.ls.stats.correction_retries.inc();
+                } else {
+                    self.ls.escalated.insert(line);
+                    self.ls.stats.immediate_corrections.inc();
+                }
+            }
+        }
+        // Correct everything: the new errors plus any buffered ones.
+        let mut cells: Vec<u16> = self
+            .store
+            .ecp_ref(line)
+            .map(|t| {
+                t.entries()
+                    .iter()
+                    .filter(|e| e.kind == EcpKind::Disturb)
+                    .map(|e| e.bit)
+                    .collect()
+            })
+            .unwrap_or_default();
+        cells.extend(new_errors);
+        cells.sort_unstable();
+        cells.dedup();
+        job.steps.push_front(Step::Correction { line, cells });
+    }
+
+    /// Attempts to retire `line` from the array into the bank's salvage
+    /// pool. Refuses when the pool is full or when the in-flight job (or
+    /// its paused sibling) still targets the line. Returns `true` when
+    /// the line was decommissioned.
+    fn try_decommission(
+        &mut self,
+        line: LineAddr,
+        job: &mut WriteJob,
+        new_errors: &[u16],
+        at: Cycle,
+    ) -> bool {
+        if self.ls.salvaged.len() >= self.sh.cfg.salvage_pool_lines {
+            self.ls.stats.salvage_rejections.inc();
+            return false;
+        }
+        if job.entry.access.addr == line {
+            return false;
+        }
+        if let Some(paused) = &self.ls.bank.paused {
+            if paused.entry.access.addr == line {
+                return false;
+            }
+        }
+        // Reconstruct the architectural content: raw array bits, minus
+        // every disturbance the controller knows about (WD only flips
+        // 0 -> 1, so their correct value is 0), DIN-decoded when encoding
+        // is in force. "Knows about" spans more than `new_errors`: the
+        // in-flight job (and a paused sibling) may still hold unserved
+        // fixes for this line — queued `Correction`/`EcpWrite` cells,
+        // cascade victims awaiting their verify, and injected-but-not-
+        // yet-post-read neighbour victims. Those steps are dropped below,
+        // so their cells must be cleansed here or the crystallized bits
+        // would be frozen into the salvage snapshot as data.
+        let mut patched = self.store.read_line(line);
+        for &bit in new_errors {
+            patched.set_bit(bit as usize, false);
+        }
+        cleanse_job_disturbances(self.sh.geometry, job, line, &mut patched);
+        if let Some(paused) = &self.ls.bank.paused {
+            cleanse_job_disturbances(self.sh.geometry, paused, line, &mut patched);
+        }
+        let data = match self.sh.codec {
+            Some(codec) => {
+                let flags = self.ls.flags.get(&line).copied().unwrap_or_default();
+                codec.decode(&patched, flags)
+            }
+            None => patched,
+        };
+        self.ls.salvaged.insert(line, data);
+        self.ls.distress.remove(&line);
+        self.ls.escalated.remove(&line);
+        self.ls.stats.decommissions.inc();
+        // The job owes the line no further maintenance.
+        job.steps.retain(|s| {
+            !matches!(s,
+                Step::Correction { line: l, .. }
+                | Step::EcpWrite { line: l, .. }
+                | Step::CascadeVerify(l) if *l == line)
+        });
+        job.cascade_pending.retain(|(l, _)| *l != line);
+        // Absorb any queued write to the line (coalescing keeps at most
+        // one) so its requester still sees a completion.
+        let removed = {
+            let b = &mut self.ls.bank;
+            if b.wq_contains(line) {
+                let e = b
+                    .write_q
+                    .iter()
+                    .position(|e| e.access.addr == line)
+                    .and_then(|pos| b.write_q.remove(pos));
+                if e.is_some() {
+                    b.wq_note_remove(line);
+                }
+                e
+            } else {
+                None
+            }
+        };
+        if let Some(e) = removed {
+            if let AccessKind::Write(d) = e.access.kind {
+                self.ls.salvaged.insert(line, d);
+            }
+            let at = at + self.sh.cfg.forward_latency;
+            self.ls.push_completion(Completion {
+                id: e.access.id,
+                at,
+                was_write: true,
+                data: None,
+            });
+        }
+        true
+    }
+
+    /// Records buffered-WD cells into a line's ECP table, charging the
+    /// ECP chip's wear (10 bits per record). The correct value of a
+    /// disturbed cell is always `0` — WD only crystallizes amorphous
+    /// cells. A record that overflows despite the earlier capacity check
+    /// (a racing hard error can steal the slot) degrades to a direct
+    /// RESET fix of the cell.
+    fn record_ecp(&mut self, line: LineAddr, cells: &[u16]) {
+        for &bit in cells {
+            match self
+                .store
+                .ecp_mut(line)
+                .record(bit, false, EcpKind::Disturb)
+            {
+                Ok(()) => {
+                    self.store.charge_ecp_record();
+                    self.ls.stats.ecp_records.inc();
+                }
+                Err(_) => {
+                    self.ls.stats.ecp_overflow_fixes.inc();
+                    let fix = DiffMask::reset_only_cells(&[bit]);
+                    self.store.apply_write(line, &fix, WriteClass::Correction);
+                }
+            }
+        }
+    }
+
+    /// Whether pausing `job` now would let a pending read observe a
+    /// physically disturbed, not-yet-verified line. Before the array
+    /// write commits there is no collateral (and reads of the write's
+    /// own line are forwarded from the queue entry); after commit, the
+    /// job's unverified victims — neighbours with injected errors and
+    /// cascade-pending lines — are off limits.
+    fn pause_is_safe(&self, job: &WriteJob) -> bool {
+        if !job.committed {
+            return true;
+        }
+        let neighbors = self.sh.geometry.bitline_neighbors(job.entry.access.addr);
+        // Hazard predicate evaluated per queued read — avoids
+        // materializing the hazard list on every pause check.
+        let is_hazard = |addr: LineAddr| -> bool {
+            for side in Side::BOTH {
+                if !job.injected[side.idx()].is_empty() && neighbors[side.idx()] == Some(addr) {
+                    return true;
+                }
+            }
+            if job.cascade_pending.iter().any(|(l, _)| *l == addr) {
+                return true;
+            }
+            // Lines awaiting a queued correction / ECP record / cascade
+            // verify are also physically dirty until their step runs.
+            if job.steps.iter().any(|s| {
+                matches!(s,
+                    Step::Correction { line, .. }
+                    | Step::EcpWrite { line, .. }
+                    | Step::CascadeVerify(line) if *line == addr)
+            }) {
+                return true;
+            }
+            !job.pending_wl.is_empty() && job.entry.access.addr == addr
+        };
+        self.ls.bank.read_q.iter().all(|r| !is_hazard(r.addr))
+    }
+
+    /// First-touch hard-error planting for the DIMM-aging experiments.
+    fn plant_hard(&mut self, line: LineAddr) {
+        self.plant_hard_excluding(line, &[]);
+    }
+
+    /// First-touch hard-error planting; cells listed in `known_errors`
+    /// are raw-disturbed but architecturally `0`, so a fault landing on
+    /// one must record `0` as the correct value, not the corrupted raw
+    /// bit.
+    ///
+    /// Draws come from the plant stream keyed by the line's address, so
+    /// a line's planted faults are a pure function of `(seed, line,
+    /// age)` — independent of which other lines were touched first.
+    fn plant_hard_excluding(&mut self, line: LineAddr, known_errors: &[u16]) {
+        let Some((model, age)) = self.sh.hard_plan else {
+            return;
+        };
+        if !self.ls.planted.insert(line) {
+            return;
+        }
+        let mut rng = self.sh.plant_stream.keyed(line.stream_key()).sequence();
+        let k = model.sample_line_errors(age, &mut rng);
+        for _ in 0..k {
+            let bit = rng.below(512) as u16;
+            let stuck = rng.chance(0.5);
+            if known_errors.contains(&bit) {
+                self.store
+                    .plant_hard_error_with_value(line, bit, stuck, false);
+            } else {
+                self.store.plant_hard_error(line, bit, stuck);
+            }
+        }
+    }
+}
+
 /// The memory controller.
 pub struct MemoryController {
     cfg: CtrlConfig,
@@ -190,53 +1402,50 @@ pub struct MemoryController {
     policy: VerifyPolicy,
     injector: WdInjector,
     codec: Option<DinCodec>,
-    flags: FxHashMap<LineAddr, DinFlags>,
-    banks: Vec<Bank>,
-    stats: CtrlStats,
-    completions: Vec<Completion>,
+    /// Per-bank lanes: queues, architectural metadata, and accumulator
+    /// slices. Aggregate views ([`MemoryController::stats`]) fold them
+    /// in bank order.
+    lanes: Vec<LaneState>,
     hard_plan: Option<(HardErrorModel, f64)>,
-    planted: FxHashSet<LineAddr>,
-    energy: EnergyMeter,
+    /// Root stream for first-touch hard-error planting (keyed per line).
+    plant_stream: RngStream,
     start_gap: Option<Vec<StartGap>>,
-    next_internal_id: u64,
-    /// Decommissioned lines and their architectural contents, served
-    /// from controller buffers at `forward_latency`.
-    salvaged: FxHashMap<LineAddr, LineBuf>,
-    /// LazyCorrection exhaustion events per line (degradation ladder).
-    distress: FxHashMap<LineAddr, u32>,
-    /// Lines past the retry cap: ECP buffering is no longer attempted.
-    escalated: FxHashSet<LineAddr>,
     chaos: Option<ChaosEngine>,
+    /// Sequential RNG for chaos victim selection — chaos scenarios run
+    /// on the serial path, where a shared draw order is well-defined.
+    chaos_rng: SimRng,
     fault_log: Vec<FaultEvent>,
     /// Recently committed write targets — the victim pool for chaos
     /// stuck-at bursts (bounded, deterministic order).
     recent_writes: VecDeque<LineAddr>,
-    /// First broken deep invariant, surfaced as a `CtrlError` at the
-    /// next `submit`/`advance`.
-    pending_anomaly: Option<&'static str>,
-    rng: SimRng,
-    /// Cached earliest `busy_until` over banks with an operation in
-    /// flight, so the hot-loop [`MemoryController::next_event`] reads
-    /// O(1) instead of scanning every bank. Marked stale whenever an
-    /// operation leaves a bank (completion, cancellation) and
-    /// recomputed lazily on the next read.
-    bank_min: std::cell::Cell<Option<Cycle>>,
-    bank_min_stale: std::cell::Cell<bool>,
-    /// Cached earliest queued completion time (exact at all times:
-    /// pushes can only lower it, and [`MemoryController::advance_into`]
-    /// recomputes it after draining).
-    completion_min: std::cell::Cell<Option<Cycle>>,
-    /// Scratch: word-line victims of the most recent injection.
-    wl_scratch: Vec<u16>,
-    /// Scratch: per-side bit-line victims of the most recent
-    /// [`MemoryController::inject_for`] call — valid until the next one.
-    bl_hits: [Vec<u16>; 2],
+    /// Worker threads for [`MemoryController::advance`]; 1 = serial.
+    workers: usize,
+    /// Cached lane minima serving the `next_event` / `process_until` /
+    /// `advance_into` fast paths — those run once per event-loop
+    /// iteration (tens of millions of times per cell), almost always
+    /// with nothing due, and must not rescan 16 lanes each time. Outer
+    /// `None` = stale; every `&mut self` path that changes bank
+    /// occupancy or queues a completion resets it.
+    mins: std::cell::Cell<Option<EventMins>>,
+    /// Whether lane work ran since the last anomaly sweep. Anomalies
+    /// can only be noted while a lane processes, so `take_anomaly`
+    /// skips its 16-lane scan on the (dominant) no-work polls.
+    anomaly_scan: bool,
+}
+
+/// See [`MemoryController::event_mins`].
+#[derive(Clone, Copy)]
+struct EventMins {
+    /// Earliest `busy_until` across occupied banks.
+    op: Option<Cycle>,
+    /// Earliest queued completion across lanes.
+    completion: Option<Cycle>,
 }
 
 impl std::fmt::Debug for MemoryController {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemoryController")
-            .field("banks", &self.banks.len())
+            .field("banks", &self.lanes.len())
             .field("scheme", &self.cfg.scheme)
             .finish()
     }
@@ -276,6 +1485,7 @@ impl MemoryController {
             rng.derive("injector"),
         );
         let codec = cfg.scheme.din_wordline.then(DinCodec::paper_default);
+        let plant_stream = rng.derive_stream("hard-plant");
         Ok(MemoryController {
             cfg,
             geometry,
@@ -283,13 +1493,9 @@ impl MemoryController {
             policy: VerifyPolicy::new(geometry.strips()),
             injector,
             codec,
-            flags: FxHashMap::default(),
-            banks: (0..geometry.banks()).map(|_| Bank::default()).collect(),
-            stats: CtrlStats::new(),
-            completions: Vec::new(),
+            lanes: (0..geometry.banks()).map(LaneState::new).collect(),
             hard_plan: None,
-            planted: FxHashSet::default(),
-            energy: EnergyMeter::new(EnergyParams::default()),
+            plant_stream,
             start_gap: cfg.scheme.start_gap_psi.map(|psi| {
                 // One region per bank over all lines but the spare slot:
                 // n logical lines, n + 1 physical slots.
@@ -300,20 +1506,13 @@ impl MemoryController {
                     .map(|_| StartGap::new(n, psi))
                     .collect()
             }),
-            next_internal_id: u64::MAX,
-            salvaged: FxHashMap::default(),
-            distress: FxHashMap::default(),
-            escalated: FxHashSet::default(),
             chaos: None,
+            chaos_rng: rng,
             fault_log: Vec::new(),
             recent_writes: VecDeque::new(),
-            pending_anomaly: None,
-            rng,
-            bank_min: std::cell::Cell::new(None),
-            bank_min_stale: std::cell::Cell::new(false),
-            completion_min: std::cell::Cell::new(None),
-            wl_scratch: Vec::new(),
-            bl_hits: [Vec::new(), Vec::new()],
+            workers: 1,
+            mins: std::cell::Cell::new(None),
+            anomaly_scan: false,
         })
     }
 
@@ -323,10 +1522,16 @@ impl MemoryController {
         &self.cfg
     }
 
-    /// Statistics collected so far.
+    /// Statistics collected so far — the per-bank lane slices folded in
+    /// bank order, so the totals are identical no matter how lanes were
+    /// scheduled across worker threads.
     #[must_use]
-    pub fn stats(&self) -> &CtrlStats {
-        &self.stats
+    pub fn stats(&self) -> CtrlStats {
+        let mut total = CtrlStats::new();
+        for lane in &self.lanes {
+            total.merge(&lane.stats);
+        }
+        total
     }
 
     /// The device store (wear counters, ECP state, raw cells).
@@ -335,10 +1540,31 @@ impl MemoryController {
         &self.store
     }
 
-    /// Energy accounting (demand vs mitigation overhead).
+    /// Energy accounting (demand vs mitigation overhead), folded from
+    /// the per-bank lane slices in bank order.
     #[must_use]
-    pub fn energy(&self) -> &EnergyMeter {
-        &self.energy
+    pub fn energy(&self) -> EnergyMeter {
+        let mut total = EnergyMeter::new(EnergyParams::default());
+        for lane in &self.lanes {
+            total.merge(&lane.energy);
+        }
+        total
+    }
+
+    /// Sets the worker-thread count used by
+    /// [`MemoryController::advance`] to process independent bank lanes
+    /// concurrently. `1` (the default) keeps processing on the calling
+    /// thread. Results are bit-identical at every worker count: lanes
+    /// share no mutable state, all draws are counter-keyed, and
+    /// aggregates fold in fixed bank order.
+    pub fn set_advance_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured advance worker count.
+    #[must_use]
+    pub fn advance_workers(&self) -> usize {
+        self.workers
     }
 
     /// Ages the DIMM: lines touched from now on receive hard errors
@@ -354,6 +1580,9 @@ impl MemoryController {
 
     /// Installs a chaos scenario, replacing any previous one. Faults
     /// fire as the committed-write counter crosses their trigger points.
+    /// While a scenario is installed the controller processes banks on
+    /// the serial global-time path regardless of the worker count, so
+    /// the scenario's shared draw order stays well-defined.
     pub fn install_chaos(&mut self, plan: ChaosPlan) {
         self.chaos = Some(ChaosEngine::new(plan));
     }
@@ -365,10 +1594,10 @@ impl MemoryController {
         &self.fault_log
     }
 
-    /// Lines currently decommissioned into the salvage pool.
+    /// Lines currently decommissioned into the per-bank salvage pools.
     #[must_use]
     pub fn salvaged_lines(&self) -> usize {
-        self.salvaged.len()
+        self.lanes.iter().map(|l| l.salvaged.len()).sum()
     }
 
     /// Test-only probe: asserts every bank's write-queue address index
@@ -383,7 +1612,8 @@ impl MemoryController {
     /// Returns which bank diverged and both multisets on mismatch.
     #[doc(hidden)]
     pub fn check_wq_index(&self) -> Result<(), String> {
-        for (bi, b) in self.banks.iter().enumerate() {
+        for (bi, l) in self.lanes.iter().enumerate() {
+            let b = &l.bank;
             let mut recount: FxHashMap<LineAddr, u32> = FxHashMap::default();
             for e in &b.write_q {
                 *recount.entry(e.access.addr).or_insert(0) += 1;
@@ -403,8 +1633,9 @@ impl MemoryController {
     #[must_use]
     pub fn snapshot(&self, cycle: Cycle) -> CtrlSnapshot {
         let banks: Vec<BankSnapshot> = self
-            .banks
+            .lanes
             .iter()
+            .map(|l| &l.bank)
             .enumerate()
             .filter(|(_, b)| {
                 b.op.is_some()
@@ -423,31 +1654,52 @@ impl MemoryController {
             .collect();
         CtrlSnapshot {
             cycle,
-            in_flight: self.banks.iter().filter(|b| b.op.is_some()).count(),
-            queued_reads: self.banks.iter().map(|b| b.read_q.len()).sum(),
-            queued_writes: self.banks.iter().map(|b| b.write_q.len()).sum(),
+            in_flight: self.lanes.iter().filter(|l| l.bank.op.is_some()).count(),
+            queued_reads: self.lanes.iter().map(|l| l.bank.read_q.len()).sum(),
+            queued_writes: self.lanes.iter().map(|l| l.bank.write_q.len()).sum(),
             banks,
         }
     }
 
-    /// Records a broken deep invariant; the first one is surfaced as a
-    /// [`CtrlError::InternalAnomaly`] at the next API-boundary call.
-    fn note_anomaly(&mut self, what: &'static str) {
-        self.stats.internal_anomalies.inc();
-        if self.pending_anomaly.is_none() {
-            self.pending_anomaly = Some(what);
-        }
-    }
-
-    /// Surfaces a pending anomaly, attaching the current queue state.
+    /// Surfaces the first pending lane anomaly (in bank order),
+    /// attaching the current queue state.
     fn take_anomaly(&mut self, now: Cycle) -> Result<(), CtrlError> {
-        match self.pending_anomaly.take() {
+        if !self.anomaly_scan {
+            return Ok(());
+        }
+        self.anomaly_scan = false;
+        let what = self.lanes.iter_mut().find_map(|l| l.pending_anomaly.take());
+        match what {
             Some(what) => Err(CtrlError::InternalAnomaly {
                 what,
                 snapshot: self.snapshot(now),
             }),
             None => Ok(()),
         }
+    }
+
+    /// Runs `f` on one bank's lane view. The lane borrows the shared
+    /// read-only context, its own `LaneState`, and its disjoint store
+    /// slice — all split borrows of `self`, built here in one body so
+    /// the borrow checker can see they never overlap.
+    fn with_lane<R>(&mut self, bank: usize, f: impl FnOnce(&mut Lane<'_, '_>) -> R) -> R {
+        let sh = LaneShared {
+            cfg: &self.cfg,
+            geometry: &self.geometry,
+            policy: &self.policy,
+            injector: &self.injector,
+            codec: &self.codec,
+            hard_plan: self.hard_plan,
+            plant_stream: self.plant_stream,
+            track_commits: self.chaos.is_some(),
+        };
+        let mut store = self.store.lane_mut(bank as u16);
+        let mut lane = Lane {
+            sh: &sh,
+            ls: &mut self.lanes[bank],
+            store: &mut store,
+        };
+        f(&mut lane)
     }
 
     /// Like [`MemoryController::architectural_line`], but `addr` is a
@@ -463,13 +1715,14 @@ impl MemoryController {
     /// write payloads and by tests to check consistency.
     #[must_use]
     pub fn architectural_line(&self, addr: LineAddr) -> LineBuf {
-        if let Some(data) = self.salvaged.get(&addr) {
+        let lane = &self.lanes[addr.bank.0 as usize];
+        if let Some(data) = lane.salvaged.get(&addr) {
             return *data;
         }
         let patched = self.store.read_line(addr);
         match &self.codec {
             Some(codec) => {
-                let flags = self.flags.get(&addr).copied().unwrap_or_default();
+                let flags = lane.flags.get(&addr).copied().unwrap_or_default();
                 codec.decode(&patched, flags)
             }
             None => patched,
@@ -485,17 +1738,18 @@ impl MemoryController {
         let Ok(addr) = self.try_remap_addr(addr) else {
             return false; // unmappable writes can never be accepted
         };
-        if self.salvaged.contains_key(&addr) {
+        let lane = &self.lanes[addr.bank.0 as usize];
+        if lane.salvaged.contains_key(&addr) {
             return true; // served from the pool, no queue entry needed
         }
-        let b = &self.banks[addr.bank.0 as usize];
+        let b = &lane.bank;
         b.write_q.len() < self.cfg.write_queue_cap || b.wq_contains(addr)
     }
 
     /// Entries currently queued in a bank's write queue (diagnostics).
     #[must_use]
     pub fn write_queue_len(&self, bank: u16) -> usize {
-        self.banks[bank as usize].write_q.len()
+        self.lanes[bank as usize].bank.write_q.len()
     }
 
     /// The newest architectural value of a *logical* line as the program
@@ -510,7 +1764,7 @@ impl MemoryController {
     /// [`MemoryController::latest_architectural`] on an already-physical
     /// address (gap-move copies).
     fn latest_architectural_physical(&self, addr: LineAddr) -> LineBuf {
-        let b = &self.banks[addr.bank.0 as usize];
+        let b = &self.lanes[addr.bank.0 as usize].bank;
         let from_queue = if b.wq_contains(addr) {
             b.write_q
                 .iter()
@@ -541,54 +1795,45 @@ impl MemoryController {
 
     /// Earliest time anything observable happens: an in-flight bank
     /// operation completes or an already-scheduled completion (e.g. a
-    /// forwarded read) becomes due. O(1) — the event loops call this
-    /// every iteration, so both components are served from caches.
+    /// forwarded read) becomes due. One pass over the (16) lanes, each
+    /// serving both components from plain fields.
     #[must_use]
     pub fn next_event(&self) -> Option<Cycle> {
-        let bank = self.bank_min_read();
-        let queued = self.completion_min.get();
-        match (bank, queued) {
+        let m = self.event_mins();
+        match (m.op, m.completion) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
     }
 
-    /// The cached earliest busy-bank time, recomputing it if stale.
-    fn bank_min_read(&self) -> Option<Cycle> {
-        if self.bank_min_stale.get() {
-            let m = self
-                .banks
-                .iter()
-                .filter(|b| b.op.is_some())
-                .map(|b| b.busy_until)
-                .min();
-            self.bank_min.set(m);
-            self.bank_min_stale.set(false);
+    /// The cached lane minima, rescanned (and re-cached) only after a
+    /// mutation marked them stale.
+    fn event_mins(&self) -> EventMins {
+        if let Some(m) = self.mins.get() {
+            return m;
         }
-        self.bank_min.get()
-    }
-
-    /// Folds a newly-armed bank operation into the busy-time cache (a
-    /// new operation can only lower the minimum, so the cache stays
-    /// exact without a rescan).
-    fn note_armed(&self, until: Cycle) {
-        if !self.bank_min_stale.get() && self.bank_min.get().is_none_or(|m| until < m) {
-            self.bank_min.set(Some(until));
+        let mut op: Option<Cycle> = None;
+        let mut completion: Option<Cycle> = None;
+        for l in &self.lanes {
+            if l.bank.op.is_some() && op.is_none_or(|m| l.bank.busy_until < m) {
+                op = Some(l.bank.busy_until);
+            }
+            if let Some(c) = l.completion_min {
+                if completion.is_none_or(|m| c < m) {
+                    completion = Some(c);
+                }
+            }
         }
-    }
-
-    /// Queues a completion, keeping the earliest-completion cache exact.
-    fn push_completion(&mut self, c: Completion) {
-        if self.completion_min.get().is_none_or(|m| c.at < m) {
-            self.completion_min.set(Some(c.at));
-        }
-        self.completions.push(c);
+        let m = EventMins { op, completion };
+        self.mins.set(Some(m));
+        m
     }
 
     /// Whether any queue or bank still holds work.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.banks.iter().all(|b| {
+        self.lanes.iter().all(|l| {
+            let b = &l.bank;
             b.op.is_none() && b.paused.is_none() && b.read_q.is_empty() && b.write_q.is_empty()
         })
     }
@@ -596,13 +1841,15 @@ impl MemoryController {
     /// Forces every bank to drain its write queue to empty (end-of-run
     /// flush; ignores the low watermark).
     pub fn drain_all(&mut self, now: Cycle) {
-        for i in 0..self.banks.len() {
-            if !self.banks[i].write_q.is_empty() {
-                self.banks[i].draining = true;
-                self.banks[i].flushing = true;
+        for i in 0..self.lanes.len() {
+            if !self.lanes[i].bank.write_q.is_empty() {
+                self.lanes[i].bank.draining = true;
+                self.lanes[i].bank.flushing = true;
             }
-            self.dispatch(i, now);
+            self.with_lane(i, |lane| lane.dispatch(now));
         }
+        self.mins.set(None);
+        self.anomaly_scan = true;
     }
 
     /// Hands a request to the controller.
@@ -634,18 +1881,22 @@ impl MemoryController {
     /// copies.
     fn submit_physical(&mut self, access: Access, now: Cycle) -> Result<(), CtrlError> {
         let bank = access.addr.bank.0 as usize;
-        if bank >= self.banks.len() {
+        if bank >= self.lanes.len() {
             return Err(CtrlError::BankOutOfRange {
                 bank: access.addr.bank.0,
-                banks: self.banks.len(),
+                banks: self.lanes.len(),
             });
         }
         self.process_until(now);
-        match access.kind {
-            AccessKind::Read => self.submit_read(bank, access, now),
-            AccessKind::Write(data) => self.submit_write(bank, access, data, now),
-        }
-        self.dispatch(bank, now);
+        self.with_lane(bank, |lane| {
+            match access.kind {
+                AccessKind::Read => lane.submit_read(access, now),
+                AccessKind::Write(data) => lane.submit_write(access, data, now),
+            }
+            lane.dispatch(now);
+        });
+        self.mins.set(None);
+        self.anomaly_scan = true;
         Ok(())
     }
 
@@ -667,10 +1918,10 @@ impl MemoryController {
     /// mapping (identity without Start-Gap). Rejects out-of-range banks
     /// and the spare line.
     fn try_remap_addr(&self, addr: LineAddr) -> Result<LineAddr, CtrlError> {
-        if addr.bank.0 as usize >= self.banks.len() {
+        if addr.bank.0 as usize >= self.lanes.len() {
             return Err(CtrlError::BankOutOfRange {
                 bank: addr.bank.0,
-                banks: self.banks.len(),
+                banks: self.lanes.len(),
             });
         }
         let Some(regions) = &self.start_gap else {
@@ -713,7 +1964,7 @@ impl MemoryController {
         let Some(mv) = regions[bank].note_write() else {
             return;
         };
-        self.stats.gap_moves.inc();
+        self.lanes[bank].stats.gap_moves.inc();
         let lines_per_row = sdpcm_pcm::geometry::LINES_PER_ROW as u64;
         let to_addr = |p: u64| LineAddr {
             bank: sdpcm_pcm::geometry::BankId(bank as u16),
@@ -723,8 +1974,7 @@ impl MemoryController {
         let from = to_addr(mv.from);
         let to = to_addr(mv.to);
         let data = self.latest_architectural_physical(from);
-        let id = ReqId(self.next_internal_id);
-        self.next_internal_id -= 1;
+        let id = self.lanes[bank].alloc_internal_id();
         let copy = Access {
             id,
             addr: to,
@@ -734,7 +1984,8 @@ impl MemoryController {
             arrive: now,
         };
         if self.submit_physical(copy, now).is_err() {
-            self.note_anomaly("Start-Gap copy targeted an invalid address");
+            self.lanes[bank].note_anomaly("Start-Gap copy targeted an invalid address");
+            self.anomaly_scan = true;
         }
     }
 
@@ -764,1063 +2015,155 @@ impl MemoryController {
         out.clear();
         self.process_until(now);
         self.take_anomaly(now)?;
-        if self.completion_min.get().is_some_and(|m| m <= now) {
-            self.completions.retain(|c| {
-                if c.at <= now {
-                    out.push(*c);
-                    false
-                } else {
-                    true
-                }
-            });
+        // Cached fast path: nothing due (the event loop polls far more
+        // often than completions mature).
+        if self.event_mins().completion.is_none_or(|m| m > now) {
+            return Ok(());
+        }
+        let mut drained = false;
+        for lane in &mut self.lanes {
+            if lane.completion_min.is_some_and(|m| m <= now) {
+                lane.completions.retain(|c| {
+                    if c.at <= now {
+                        out.push(*c);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                lane.completion_min = lane.completions.iter().map(|c| c.at).min();
+                drained = true;
+            }
+        }
+        self.mins.set(None);
+        if drained {
+            // Index-ordered merge across lanes: the global (at, id)
+            // order is independent of which lane drained first.
             out.sort_unstable_by_key(|c| (c.at, c.id));
-            self.completion_min
-                .set(self.completions.iter().map(|c| c.at).min());
         }
         Ok(())
     }
 
     /// Completes every bank operation due by `now` and re-dispatches.
     ///
-    /// Due operations are processed in global `(completion time, bank)`
-    /// order, one at a time. This makes the controller invariant to the
-    /// caller's advance cadence: whether the clock is driven in many
-    /// small steps (inline generation visits every core event) or a few
-    /// large ones (trace replay only visits PCM events), the cross-bank
-    /// processing order — and with it the shared RNG draw order — is
-    /// identical. Replay bit-identity depends on this.
+    /// Bank lanes are mutually independent — every RNG draw is keyed by
+    /// `(line, epoch)`, every accumulator is lane-local — so due lanes
+    /// can be processed in any order, or concurrently on worker threads,
+    /// and produce bit-identical state. The serial path walks lanes in
+    /// bank order; the parallel path shards due lanes across
+    /// `self.workers` threads and joins before returning. With a chaos
+    /// scenario installed, processing falls back to the legacy global
+    /// `(completion time, bank)` order so the scenario's shared
+    /// victim-selection draws stay well-defined.
     fn process_until(&mut self, now: Cycle) {
-        // Fast path: nothing due (every submit lands here once).
-        if self.bank_min_read().is_none_or(|m| m > now) {
+        // Cached fast path: no bank operation due (every submit and
+        // every event-loop poll lands here first).
+        if self.event_mins().op.is_none_or(|m| m > now) {
             return;
         }
+        self.mins.set(None);
+        self.anomaly_scan = true;
+        let due = self
+            .lanes
+            .iter()
+            .filter(|l| l.bank.op.is_some() && l.bank.busy_until <= now)
+            .count();
+        if due == 0 {
+            return;
+        }
+        if self.chaos.is_some() {
+            self.process_until_chaos(now);
+        } else if self.workers > 1 && due > 1 {
+            self.process_until_parallel(now, due);
+        } else {
+            for i in 0..self.lanes.len() {
+                if self.lanes[i].bank.op.is_some() && self.lanes[i].bank.busy_until <= now {
+                    self.with_lane(i, |lane| lane.process_lane_until(now));
+                }
+            }
+        }
+    }
+
+    /// Serial chaos-mode processing in global `(busy_until, bank)`
+    /// order, polling the fault plan after every committed write.
+    fn process_until_chaos(&mut self, now: Cycle) {
         loop {
             let mut best: Option<(Cycle, usize)> = None;
-            for (i, b) in self.banks.iter().enumerate() {
-                if b.op.is_some()
-                    && b.busy_until <= now
-                    && best.is_none_or(|(t, _)| b.busy_until < t)
+            for (i, l) in self.lanes.iter().enumerate() {
+                if l.bank.op.is_some()
+                    && l.bank.busy_until <= now
+                    && best.is_none_or(|(t, _)| l.bank.busy_until < t)
                 {
-                    best = Some((b.busy_until, i));
+                    best = Some((l.bank.busy_until, i));
                 }
             }
             let Some((at, i)) = best else { break };
-            self.complete_op(i, at);
-            self.dispatch(i, at);
+            self.with_lane(i, |lane| lane.complete_op(at));
+            self.drain_commits(i, at);
+            self.with_lane(i, |lane| lane.dispatch(at));
         }
     }
 
-    // ----- submission -----
-
-    fn submit_read(&mut self, bank: usize, access: Access, now: Cycle) {
-        // Decommissioned lines live in controller buffers: no bank
-        // operation, no disturbance, `forward_latency` to answer.
-        if let Some(data) = self.salvaged.get(&access.addr).copied() {
-            self.stats.salvaged_reads.inc();
-            self.stats.reads.inc();
-            let at = now + self.cfg.forward_latency;
-            self.stats.read_latency_total += at - access.arrive;
-            self.stats
-                .read_latency_sketch
-                .record((at - access.arrive).0);
-            self.push_completion(Completion {
-                id: access.id,
-                at,
-                was_write: false,
-                data: Some(data),
-            });
-            return;
-        }
-        // Forward from the write queue (newest entry wins) or from the
-        // write job in flight.
-        let from_queue = if self.banks[bank].wq_contains(access.addr) {
-            self.banks[bank]
-                .write_q
-                .iter()
-                .rev()
-                .find(|e| e.access.addr == access.addr)
-                .map(|e| e.access.kind)
-        } else {
-            None
+    /// Shards due lanes across worker threads. Each worker processes a
+    /// contiguous chunk of `(LaneState, StoreLane)` pairs to completion;
+    /// the main thread takes the first chunk. Joining at the scope exit
+    /// is the per-step barrier.
+    fn process_until_parallel(&mut self, now: Cycle, due: usize) {
+        let sh = LaneShared {
+            cfg: &self.cfg,
+            geometry: &self.geometry,
+            policy: &self.policy,
+            injector: &self.injector,
+            codec: &self.codec,
+            hard_plan: self.hard_plan,
+            plant_stream: self.plant_stream,
+            track_commits: false,
         };
-        let forwarded = from_queue
-            .or_else(|| match &self.banks[bank].op {
-                Some(BankOp::Write(job)) if job.entry.access.addr == access.addr => {
-                    Some(job.entry.access.kind)
-                }
-                _ => None,
-            })
-            .or_else(|| {
-                self.banks[bank]
-                    .paused
-                    .as_ref()
-                    .filter(|job| job.entry.access.addr == access.addr)
-                    .map(|job| job.entry.access.kind)
-            });
-        if let Some(AccessKind::Write(data)) = forwarded {
-            self.stats.read_forwards.inc();
-            self.stats.reads.inc();
-            let at = now + self.cfg.forward_latency;
-            self.stats.read_latency_total += at - access.arrive;
-            self.stats
-                .read_latency_sketch
-                .record((at - access.arrive).0);
-            self.push_completion(Completion {
-                id: access.id,
-                at,
-                was_write: false,
-                data: Some(data),
-            });
-            return;
-        }
-        self.banks[bank].read_q.push_back(access);
-        // Write cancellation: a pending read cancels an uncommitted write.
-        if self.cfg.scheme.write_cancellation {
-            self.try_cancel(bank, now);
-        }
-    }
-
-    fn submit_write(&mut self, bank: usize, access: Access, data: LineBuf, now: Cycle) {
-        // Decommissioned lines absorb writes in their controller buffer.
-        if let Some(buf) = self.salvaged.get_mut(&access.addr) {
-            *buf = data;
-            self.stats.salvaged_writes.inc();
-            self.push_completion(Completion {
-                id: access.id,
-                at: now + self.cfg.forward_latency,
-                was_write: true,
-                data: None,
-            });
-            return;
-        }
-        // Coalesce with a queued write to the same line.
-        if self.banks[bank].wq_contains(access.addr) {
-            if let Some(e) = self.banks[bank]
-                .write_q
-                .iter_mut()
-                .find(|e| e.access.addr == access.addr)
-            {
-                e.access.kind = AccessKind::Write(data);
-                self.push_completion(Completion {
-                    id: access.id,
-                    at: now,
-                    was_write: true,
-                    data: None,
-                });
-                return;
+        let store_lanes = self.store.lanes_mut();
+        let mut jobs: Vec<(&mut LaneState, StoreLane<'_>)> = self
+            .lanes
+            .iter_mut()
+            .zip(store_lanes)
+            .filter(|(l, _)| l.bank.op.is_some() && l.bank.busy_until <= now)
+            .collect();
+        let workers = self.workers.min(due);
+        let per = jobs.len().div_ceil(workers);
+        let sh = &sh;
+        std::thread::scope(|scope| {
+            let mut chunks = jobs.chunks_mut(per);
+            let first = chunks.next();
+            for chunk in chunks {
+                scope.spawn(move || run_lane_chunk(sh, chunk, now));
             }
-        }
-        let mut entry = WqEntry::new(access);
-        if self.cfg.scheme.preread {
-            self.forward_prereads(bank, &mut entry);
-        }
-        let addr = entry.access.addr;
-        self.banks[bank].write_q.push_back(entry);
-        self.banks[bank].wq_note_push(addr);
-        if self.banks[bank].write_q.len() >= self.cfg.write_queue_cap {
-            self.arm_drain(bank);
-        }
-    }
-
-    fn arm_drain(&mut self, bank: usize) {
-        let b = &mut self.banks[bank];
-        if !b.draining {
-            self.stats.drains.inc();
-            b.draining = true;
-        }
-        b.drain_left = b.drain_left.max(self.cfg.drain_burst);
-    }
-
-    /// PreRead forwarding: if an adjacent line of `entry` has a pending
-    /// write in the queue, its up-to-date data is forwarded — no bank
-    /// operation needed (§4.3).
-    fn forward_prereads(&mut self, bank: usize, entry: &mut WqEntry) {
-        let neighbors = self.geometry.bitline_neighbors(entry.access.addr);
-        for side in Side::BOTH {
-            if entry.pr_done[side.idx()] {
-                continue;
+            if let Some(chunk) = first {
+                run_lane_chunk(sh, chunk, now);
             }
-            let Some(n) = neighbors[side.idx()] else {
-                continue;
-            };
-            if !self.banks[bank].wq_contains(n) {
-                continue;
-            }
-            let queued = self.banks[bank]
-                .write_q
-                .iter()
-                .rev()
-                .find(|e| e.access.addr == n);
-            if let Some(e) = queued {
-                if let AccessKind::Write(data) = e.access.kind {
-                    entry.pr_done[side.idx()] = true;
-                    entry.pr_buf[side.idx()] = Some(data);
-                    self.stats.preread_forwards.inc();
-                }
-            }
-        }
-    }
-
-    // ----- scheduling -----
-
-    fn dispatch(&mut self, bank: usize, now: Cycle) {
-        if self.banks[bank].op.is_some() {
-            return;
-        }
-        let wc = self.cfg.scheme.write_cancellation;
-        loop {
-            let b = &mut self.banks[bank];
-            if b.draining {
-                if wc || self.cfg.scheme.write_pausing {
-                    if let Some(access) = b.read_q.pop_front() {
-                        self.start_read(bank, access, now);
-                        return;
-                    }
-                }
-                if let Some(mut job) = b.paused.take() {
-                    let dur = self.step_duration(&mut job);
-                    self.banks[bank].busy_until = now + dur;
-                    self.banks[bank].op = Some(BankOp::Write(job));
-                    self.note_armed(now + dur);
-                    return;
-                }
-                // Service one burst's worth of writes, then release the
-                // bank back to reads (end-of-run flushes go all the way).
-                if b.drain_left > 0 || b.flushing {
-                    if let Some(entry) = b.write_q.pop_front() {
-                        b.wq_note_remove(entry.access.addr);
-                        b.drain_left = b.drain_left.saturating_sub(1);
-                        self.start_write(bank, entry, now);
-                        return;
-                    }
-                }
-                b.draining = false;
-                b.flushing = false;
-                continue;
-            }
-            if let Some(access) = b.read_q.pop_front() {
-                self.start_read(bank, access, now);
-                return;
-            }
-            if let Some(mut job) = b.paused.take() {
-                let dur = self.step_duration(&mut job);
-                self.banks[bank].busy_until = now + dur;
-                self.banks[bank].op = Some(BankOp::Write(job));
-                self.note_armed(now + dur);
-                return;
-            }
-            if b.write_q.len() >= self.cfg.write_queue_cap {
-                self.arm_drain(bank);
-                continue;
-            }
-            if self.cfg.scheme.preread && self.try_issue_preread(bank, now) {
-                return;
-            }
-            return; // idle
-        }
-    }
-
-    fn start_read(&mut self, bank: usize, access: Access, now: Cycle) {
-        self.banks[bank].busy_until = now + self.cfg.timing.read;
-        self.banks[bank].op = Some(BankOp::Read(access));
-        self.note_armed(self.banks[bank].busy_until);
-    }
-
-    fn start_write(&mut self, bank: usize, entry: WqEntry, now: Cycle) {
-        let need = self.verify_need(&entry.access);
-        let job = WriteJob::new(entry, need.0, need.1, self.cfg.scheme.own_line_verify);
-        let mut job = job;
-        let dur = self.step_duration(&mut job);
-        self.banks[bank].busy_until = now + dur;
-        self.banks[bank].op = Some(BankOp::Write(Box::new(job)));
-        self.note_armed(now + dur);
-    }
-
-    /// Which neighbours of this write need verification: scheme VnC off →
-    /// none; otherwise the (n:m) policy decides, and physically absent
-    /// neighbours (bank edges) or decommissioned ones (served from the
-    /// salvage pool, nothing architectural to protect) never need it.
-    fn verify_need(&self, access: &Access) -> (bool, bool) {
-        if !self.cfg.scheme.vnc {
-            return (false, false);
-        }
-        let strip = self.geometry.strip_of(access.addr);
-        let need = self.policy.need(access.ratio, strip);
-        let nb = self.geometry.bitline_neighbors(access.addr);
-        let live = |n: Option<LineAddr>| n.is_some_and(|n| !self.salvaged.contains_key(&n));
-        (need.up && live(nb[0]), need.down && live(nb[1]))
-    }
-
-    fn try_issue_preread(&mut self, bank: usize, now: Cycle) -> bool {
-        // Oldest queued write with an outstanding, needed pre-read. The
-        // scan only needs shared borrows, so the queue is walked in place
-        // rather than snapshotted.
-        let mut target: Option<(LineAddr, Side)> = None;
-        if self.cfg.scheme.vnc {
-            let cap = self.cfg.write_queue_cap;
-            'scan: for e in self.banks[bank].write_q.iter().take(cap) {
-                let addr = e.access.addr;
-                let strip = self.geometry.strip_of(addr);
-                let need = self.policy.need(e.access.ratio, strip);
-                let nb = self.geometry.bitline_neighbors(addr);
-                for side in Side::BOTH {
-                    let needed = match side {
-                        Side::Up => need.up,
-                        Side::Down => need.down,
-                    } && nb[side.idx()]
-                        .is_some_and(|n| !self.salvaged.contains_key(&n));
-                    if needed && !e.pr_done[side.idx()] {
-                        target = Some((addr, side));
-                        break 'scan;
-                    }
-                }
-            }
-        }
-        let Some((write_line, side)) = target else {
-            return false;
-        };
-        self.banks[bank].busy_until = now + self.cfg.timing.read;
-        self.banks[bank].op = Some(BankOp::IdlePreRead { write_line, side });
-        self.note_armed(self.banks[bank].busy_until);
-        true
-    }
-
-    /// Cancels the uncommitted write in flight on `bank`, if any (§6.8).
-    ///
-    /// A cancellation during the array-write phase leaves physically
-    /// disturbed cells in the adjacent lines (the RESET pulses already
-    /// fired). Serving a read from such a line before the retried write
-    /// verifies it would return corrupt data, so the collateral must be
-    /// absorbed into the victims' ECP entries at cancel time; when the
-    /// entries do not fit (or LazyCorrection is off), the cancellation is
-    /// *denied* and the write runs to completion — the paper's own
-    /// warning that "canceling writes in super dense PCM is not
-    /// desirable" (§6.8) made concrete.
-    fn try_cancel(&mut self, bank: usize, now: Cycle) {
-        let cancel = matches!(
-            &self.banks[bank].op,
-            Some(BankOp::Write(job)) if !job.committed
-        );
-        if !cancel {
-            return;
-        }
-        // Peek: can the array-write collateral be absorbed?
-        if let Some(BankOp::Write(job)) = &self.banks[bank].op {
-            if matches!(job.steps.front(), Some(Step::ArrayWrite)) {
-                let addr = job.entry.access.addr;
-                let Some(diff) = job.diff else {
-                    // The diff is computed when the phase is scheduled;
-                    // its absence is a bookkeeping bug. Deny the cancel
-                    // (the write runs to completion) and surface it.
-                    self.note_anomaly("array-write phase in flight without its diff");
-                    return;
-                };
-                if !self.absorb_cancel_collateral(addr, &diff) {
-                    return; // denied: corruption could not be buffered
-                }
-            }
-        }
-        match self.banks[bank].op.take() {
-            Some(BankOp::Write(job)) => {
-                self.bank_min_stale.set(true);
-                self.stats.write_cancellations.inc();
-                let addr = job.entry.access.addr;
-                self.banks[bank].write_q.push_front(job.entry);
-                self.banks[bank].wq_note_push(addr);
-                self.banks[bank].busy_until = now;
-                self.dispatch(bank, now);
-            }
-            other => {
-                self.banks[bank].op = other;
-                self.note_anomaly("cancellation target changed type mid-check");
-            }
-        }
-    }
-
-    /// Rolls the disturbance of a half-finished (cancelled) array write
-    /// and buffers every bit-line victim in its line's ECP table.
-    /// Returns `false` — without injecting — when the victims cannot all
-    /// be buffered. Own-line word-line flips need no buffering: reads of
-    /// the line are forwarded from the queued write's data, and the
-    /// retried differential write re-programs the flipped cells.
-    fn absorb_cancel_collateral(&mut self, addr: LineAddr, diff: &DiffMask) -> bool {
-        if !self.cfg.scheme.lazy_correction {
-            // Without LazyC there is no place to buffer the victims.
-            // Only disturbance-free cancellations can proceed.
-            let neighbors = self.geometry.bitline_neighbors(addr);
-            let would_disturb = neighbors.iter().flatten().any(|n| {
-                let raw = self.store.raw_line(*n);
-                sdpcm_wd::pattern::bitline_any_vulnerable(diff, &raw)
-            });
-            if would_disturb {
-                return false;
-            }
-        }
-        // Check capacity first (no side effects on denial).
-        let neighbors = self.geometry.bitline_neighbors(addr);
-        for n in neighbors.iter().flatten() {
-            let raw = self.store.raw_line(*n);
-            let vulnerable = sdpcm_wd::pattern::bitline_vulnerable_count(diff, &raw);
-            let free = self
-                .store
-                .ecp_ref(*n)
-                .map_or(self.store.ecp_entries(), |t| t.free_slots());
-            if vulnerable > free {
-                return false;
-            }
-        }
-        // Inject and buffer. The own-line word-line victims need no
-        // handling here (reads forward from the queued entry, and the
-        // retried write re-programs them), but the draws must happen to
-        // keep the RNG stream aligned with a non-cancelled write.
-        let _ = self.inject_for(addr, diff, None);
-        for side in Side::BOTH {
-            if let Some(n) = neighbors[side.idx()] {
-                let cells = std::mem::take(&mut self.bl_hits[side.idx()]);
-                if !cells.is_empty() {
-                    self.record_ecp(n, &cells);
-                }
-                self.bl_hits[side.idx()] = cells;
-            }
-        }
-        true
-    }
-
-    // ----- execution -----
-
-    fn complete_op(&mut self, bank: usize, at: Cycle) {
-        let Some(op) = self.banks[bank].op.take() else {
-            self.note_anomaly("completion fired on an idle bank");
-            return;
-        };
-        self.bank_min_stale.set(true);
-        match op {
-            BankOp::Read(access) => {
-                self.stats.reads.inc();
-                self.stats.read_latency_total += at - access.arrive;
-                self.stats
-                    .read_latency_sketch
-                    .record((at - access.arrive).0);
-                self.energy.charge_read(512, false);
-                let data = self.architectural_line(access.addr);
-                self.push_completion(Completion {
-                    id: access.id,
-                    at,
-                    was_write: false,
-                    data: Some(data),
-                });
-            }
-            BankOp::IdlePreRead { write_line, side } => {
-                self.energy.charge_read(512, true);
-                let data = self.geometry.bitline_neighbors(write_line)[side.idx()]
-                    .map(|n| self.architectural_line(n));
-                if self.banks[bank].wq_contains(write_line) {
-                    if let Some(e) = self.banks[bank]
-                        .write_q
-                        .iter_mut()
-                        .find(|e| e.access.addr == write_line)
-                    {
-                        e.pr_done[side.idx()] = true;
-                        e.pr_buf[side.idx()] = data;
-                    }
-                }
-                self.stats.prereads_issued.inc();
-            }
-            BankOp::Write(mut job) => {
-                self.finish_step(&mut job, at);
-                job.steps_done += 1;
-                if job.steps_done >= MAX_JOB_STEPS {
-                    self.stats.cascade_overflows.inc();
-                    job.steps.clear();
-                }
-                if job.steps.is_empty() {
-                    // Job done; completion was pushed at commit.
-                } else if self.cfg.scheme.write_pausing
-                    && !self.banks[bank].read_q.is_empty()
-                    && self.pause_is_safe(bank, &job)
-                {
-                    // Set the job aside between phases so the pending
-                    // reads go first; dispatch resumes it afterwards.
-                    self.stats.write_pauses.inc();
-                    self.banks[bank].paused = Some(job);
-                } else {
-                    let dur = self.step_duration(&mut job);
-                    self.banks[bank].busy_until = at + dur;
-                    self.banks[bank].op = Some(BankOp::Write(job));
-                    self.note_armed(at + dur);
-                }
-            }
-        }
-    }
-
-    /// Computes the duration of the job's front step, performing the
-    /// pure pre-computation (DIN encode + diff) for array writes.
-    fn step_duration(&mut self, job: &mut WriteJob) -> Cycle {
-        let t = self.cfg.timing;
-        let Some(step) = job.steps.front() else {
-            self.note_anomaly("write job scheduled with no remaining step");
-            return Cycle(1);
-        };
-        match step {
-            Step::PreRead(_) | Step::OwnVerify | Step::PostRead(_) | Step::CascadeVerify(_) => {
-                t.read
-            }
-            Step::ArrayWrite => {
-                let addr = job.entry.access.addr;
-                let AccessKind::Write(plain) = job.entry.access.kind else {
-                    self.note_anomaly("array-write step on a non-write access");
-                    return t.read;
-                };
-                self.plant_hard(addr);
-                let raw_old = self.store.raw_line(addr);
-                let (encoded, new_flags) = match &self.codec {
-                    Some(codec) => {
-                        let old_flags = self.flags.get(&addr).copied().unwrap_or_default();
-                        codec.encode(&plain, &raw_old, old_flags)
-                    }
-                    None => (plain, DinFlags::default()),
-                };
-                let diff = DiffMask::between(&raw_old, &encoded);
-                let dur = t.write_latency(&diff);
-                job.diff = Some(diff);
-                job.encoded = Some(encoded);
-                job.new_flags = new_flags;
-                dur
-            }
-            Step::OwnFix => t.correction_latency(job.pending_wl.len() as u32),
-            Step::EcpWrite { .. } => t.reset_pulse,
-            Step::Correction { cells, .. } => t.correction_latency(cells.len() as u32),
-        }
-    }
-
-    /// Applies the side effects of the completed front step and extends
-    /// the program as VnC demands.
-    fn finish_step(&mut self, job: &mut WriteJob, at: Cycle) {
-        let Some(step) = job.steps.pop_front() else {
-            self.note_anomaly("write job completed with no step to finish");
-            return;
-        };
-        let t = self.cfg.timing;
-        let addr = job.entry.access.addr;
-        match step {
-            Step::PreRead(side) => {
-                self.stats.phases.pre_reads += t.read;
-                self.energy.charge_read(512, true);
-                let data = self.geometry.bitline_neighbors(addr)[side.idx()]
-                    .map(|n| self.architectural_line(n));
-                job.entry.pr_done[side.idx()] = true;
-                job.entry.pr_buf[side.idx()] = data;
-            }
-            Step::ArrayWrite => {
-                let (Some(diff), Some(encoded)) = (job.diff.take(), job.encoded.take()) else {
-                    self.note_anomaly("array write lost its precomputed encoding");
-                    job.steps.clear();
-                    return;
-                };
-                let dur = t.write_latency(&diff);
-                self.stats.phases.array_writes += dur;
-                self.energy
-                    .charge_write(diff.set_count(), diff.reset_count(), false);
-                self.store.apply_write(addr, &diff, WriteClass::Normal);
-                self.store.refresh_hard_values(addr, &encoded);
-                if self.codec.is_some() {
-                    self.flags.insert(addr, job.new_flags);
-                }
-                // A normal write clears the line's own buffered WD errors
-                // (LazyCorrection consolidation, §4.2).
-                self.store.ecp_mut(addr).clear_disturb();
-                job.committed = true;
-                self.stats.writes.inc();
-                self.push_completion(Completion {
-                    id: job.entry.access.id,
-                    at,
-                    was_write: true,
-                    data: None,
-                });
-                // Disturbance injection.
-                let wl = self.inject_for(addr, &diff, Some(&mut job.pending_wl));
-                self.stats.wl_errors.record(wl as u64);
-                let neighbors = self.geometry.bitline_neighbors(addr);
-                for side in Side::BOTH {
-                    if neighbors[side.idx()].is_some() {
-                        self.stats
-                            .bl_errors_per_neighbor
-                            .record(self.bl_hits[side.idx()].len() as u64);
-                    }
-                    job.injected[side.idx()].extend_from_slice(&self.bl_hits[side.idx()]);
-                }
-                self.note_committed_write(addr, at);
-            }
-            Step::OwnVerify => {
-                self.stats.phases.own_verifies += t.read;
-                self.energy.charge_read(512, true);
-                if !job.pending_wl.is_empty() {
-                    job.steps.push_front(Step::OwnFix);
-                }
-            }
-            Step::OwnFix => {
-                let _t = prof::timer(Site::CtrlCorrect);
-                let cells = std::mem::take(&mut job.pending_wl);
-                let dur = t.correction_latency(cells.len() as u32);
-                self.stats.phases.own_fixes += dur;
-                let fix = DiffMask::reset_only_cells(&cells);
-                self.energy.charge_write(0, fix.reset_count(), true);
-                self.store.apply_write(addr, &fix, WriteClass::WordlineFix);
-                // The fix's RESET pulses disturb again.
-                let _ = self.inject_for(addr, &fix, Some(&mut job.pending_wl));
-                for side in Side::BOTH {
-                    job.injected[side.idx()].extend_from_slice(&self.bl_hits[side.idx()]);
-                }
-                if !job.pending_wl.is_empty() {
-                    job.steps.push_front(Step::OwnFix);
-                }
-            }
-            Step::PostRead(side) => {
-                self.stats.phases.post_reads += t.read;
-                self.stats.verification_ops.inc();
-                self.energy.charge_read(512, true);
-                let Some(neighbor) = self.geometry.bitline_neighbors(addr)[side.idx()] else {
-                    return;
-                };
-                let new_errors = std::mem::take(&mut job.injected[side.idx()]);
-                self.resolve_verification(job, neighbor, new_errors, at);
-            }
-            Step::CascadeVerify(line) => {
-                self.stats.phases.cascade_reads += t.read;
-                self.stats.verification_ops.inc();
-                self.stats.cascade_rounds.inc();
-                self.energy.charge_read(512, true);
-                let new_errors = job.take_cascade(line);
-                self.resolve_verification(job, line, new_errors, at);
-            }
-            Step::EcpWrite { line, cells } => {
-                self.stats.phases.ecp_writes += t.reset_pulse;
-                self.record_ecp(line, &cells);
-            }
-            Step::Correction { line, cells } => {
-                let _t = prof::timer(Site::CtrlCorrect);
-                let dur = t.correction_latency(cells.len() as u32);
-                self.stats.phases.corrections += dur;
-                self.stats.correction_ops.inc();
-                self.stats.corrected_cells.add(cells.len() as u64);
-                let fix = DiffMask::reset_only_cells(&cells);
-                self.energy.charge_write(0, fix.reset_count(), true);
-                self.store.apply_write(line, &fix, WriteClass::Correction);
-                self.store.ecp_mut(line).clear_disturb();
-                // The correction's RESET pulses disturb the corrected
-                // line's own word-line cells and its bit-line neighbours:
-                // cascading verification (§3.2).
-                let mut own_wl = Vec::new();
-                let _ = self.inject_for(line, &fix, Some(&mut own_wl));
-                if !own_wl.is_empty() {
-                    job.add_cascade(line, own_wl);
-                    if !job.has_cascade_step(line) {
-                        job.steps.push_front(Step::CascadeVerify(line));
-                    }
-                }
-                let strip = self.geometry.strip_of(line);
-                let need = self.policy.need(job.entry.access.ratio, strip);
-                let neighbors = self.geometry.bitline_neighbors(line);
-                for side in Side::BOTH {
-                    let victims = &self.bl_hits[side.idx()];
-                    if victims.is_empty() {
-                        continue;
-                    }
-                    let needed = match side {
-                        Side::Up => need.up,
-                        Side::Down => need.down,
-                    };
-                    if !needed {
-                        continue; // no-use strip: nothing to protect
-                    }
-                    let Some(n) = neighbors[side.idx()] else {
-                        continue;
-                    };
-                    job.add_cascade(n, victims.clone());
-                    if !job.has_cascade_step(n) {
-                        job.steps.push_front(Step::CascadeVerify(n));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Injects disturbances for a committed programming operation on
-    /// `addr`: word-line victims inside the line (appended to `wl_out`
-    /// when given) and bit-line victims in both physical neighbours,
-    /// left in `self.bl_hits` until the next call. Returns the word-line
-    /// victim count. All buffers are controller-held scratch — the hot
-    /// path allocates nothing once their capacities have grown.
-    fn inject_for(
-        &mut self,
-        addr: LineAddr,
-        diff: &DiffMask,
-        wl_out: Option<&mut Vec<u16>>,
-    ) -> usize {
-        let after = self.store.raw_line(addr);
-        let mut wl = std::mem::take(&mut self.wl_scratch);
-        self.injector.draw_wordline_into(&after, diff, &mut wl);
-        // Only cells that physically flipped count: stuck cells cannot
-        // crystallize, and the hardware's pre/post-read comparison would
-        // show no change for them either.
-        wl.retain(|&bit| self.store.inject_disturb(addr, bit));
-        let wl_count = wl.len();
-        if let Some(out) = wl_out {
-            out.extend_from_slice(&wl);
-        }
-        self.wl_scratch = wl;
-        let neighbors = self.geometry.bitline_neighbors(addr);
-        for side in Side::BOTH {
-            let mut victims = std::mem::take(&mut self.bl_hits[side.idx()]);
-            victims.clear();
-            if let Some(n) = neighbors[side.idx()] {
-                // Decommissioned lines are no longer programmed in the
-                // array, so they can neither disturb nor be disturbed.
-                if !self.salvaged.contains_key(&n) {
-                    let raw = self.store.raw_line(n);
-                    self.injector.draw_bitline_into(diff, &raw, &mut victims);
-                    victims.retain(|&bit| self.store.inject_disturb(n, bit));
-                }
-            }
-            self.bl_hits[side.idx()] = victims;
-        }
-        wl_count
-    }
-
-    /// LazyCorrection-or-correct decision after a verification read found
-    /// `new_errors` in `line` (§4.2), extended with the graceful
-    /// degradation ladder for ECP exhaustion:
-    ///
-    /// 1. **Bounded retry** — the first `ecp_retry_cap` exhaustions on a
-    ///    line fall back to an immediate verify-and-correct pass but keep
-    ///    LazyCorrection armed (the next errors may again fit the table).
-    /// 2. **Escalation** — past the cap the line stops attempting ECP
-    ///    buffering entirely; every new error is corrected on the spot.
-    /// 3. **Decommission** — a line that keeps accumulating distress even
-    ///    under immediate correction is remapped into the salvage pool.
-    fn resolve_verification(
-        &mut self,
-        job: &mut WriteJob,
-        line: LineAddr,
-        new_errors: Vec<u16>,
-        at: Cycle,
-    ) {
-        let _t = prof::timer(Site::CtrlVerify);
-        if self.salvaged.contains_key(&line) {
-            return;
-        }
-        self.plant_hard_excluding(line, &new_errors);
-        self.stats
-            .errors_per_verification
-            .record(new_errors.len() as u64);
-        if new_errors.is_empty() {
-            return;
-        }
-        let free_slots = self
-            .store
-            .ecp_ref(line)
-            .map_or(self.store.ecp_entries(), |t| t.free_slots());
-        if self.cfg.scheme.lazy_correction {
-            if self.escalated.contains(&line) {
-                // Rung 2: buffering is abandoned for this line; count
-                // distress toward the decommission threshold.
-                let d = self.distress.entry(line).or_insert(0);
-                *d += 1;
-                let d = *d;
-                if d >= self.cfg.decommission_after
-                    && self.try_decommission(line, job, &new_errors, at)
-                {
-                    return;
-                }
-                self.stats.immediate_corrections.inc();
-            } else if new_errors.len() <= free_slots {
-                if self.cfg.scheme.ecp_write_inline {
-                    job.steps.push_front(Step::EcpWrite {
-                        line,
-                        cells: new_errors,
-                    });
-                } else {
-                    // The record targets the separate ECP chip and overlaps
-                    // with the bank's next data operation.
-                    self.record_ecp(line, &new_errors);
-                }
-                return;
-            } else {
-                // The table cannot absorb this batch.
-                self.stats.ecp_exhaustions.inc();
-                let d = self.distress.entry(line).or_insert(0);
-                *d += 1;
-                if *d <= self.cfg.ecp_retry_cap {
-                    // Rung 1: correct now, retry buffering next time.
-                    self.stats.correction_retries.inc();
-                } else {
-                    self.escalated.insert(line);
-                    self.stats.immediate_corrections.inc();
-                }
-            }
-        }
-        // Correct everything: the new errors plus any buffered ones.
-        let mut cells: Vec<u16> = self
-            .store
-            .ecp_ref(line)
-            .map(|t| {
-                t.entries()
-                    .iter()
-                    .filter(|e| e.kind == EcpKind::Disturb)
-                    .map(|e| e.bit)
-                    .collect()
-            })
-            .unwrap_or_default();
-        cells.extend(new_errors);
-        cells.sort_unstable();
-        cells.dedup();
-        job.steps.push_front(Step::Correction { line, cells });
-    }
-
-    /// Attempts to retire `line` from the array into the salvage pool.
-    /// Refuses when the pool is full or when the in-flight job (or its
-    /// paused sibling) still targets the line. Returns `true` when the
-    /// line was decommissioned.
-    fn try_decommission(
-        &mut self,
-        line: LineAddr,
-        job: &mut WriteJob,
-        new_errors: &[u16],
-        at: Cycle,
-    ) -> bool {
-        if self.salvaged.len() >= self.cfg.salvage_pool_lines {
-            self.stats.salvage_rejections.inc();
-            return false;
-        }
-        if job.entry.access.addr == line {
-            return false;
-        }
-        let bank = line.bank.0 as usize;
-        if let Some(paused) = &self.banks[bank].paused {
-            if paused.entry.access.addr == line {
-                return false;
-            }
-        }
-        // Reconstruct the architectural content: raw array bits, minus
-        // every disturbance the controller knows about (WD only flips
-        // 0 -> 1, so their correct value is 0), DIN-decoded when encoding
-        // is in force. "Knows about" spans more than `new_errors`: the
-        // in-flight job (and a paused sibling) may still hold unserved
-        // fixes for this line — queued `Correction`/`EcpWrite` cells,
-        // cascade victims awaiting their verify, and injected-but-not-
-        // yet-post-read neighbour victims. Those steps are dropped below,
-        // so their cells must be cleansed here or the crystallized bits
-        // would be frozen into the salvage snapshot as data.
-        let mut patched = self.store.read_line(line);
-        for &bit in new_errors {
-            patched.set_bit(bit as usize, false);
-        }
-        Self::cleanse_job_disturbances(&self.geometry, job, line, &mut patched);
-        if let Some(paused) = &self.banks[bank].paused {
-            Self::cleanse_job_disturbances(&self.geometry, paused, line, &mut patched);
-        }
-        let data = match &self.codec {
-            Some(codec) => {
-                let flags = self.flags.get(&line).copied().unwrap_or_default();
-                codec.decode(&patched, flags)
-            }
-            None => patched,
-        };
-        self.salvaged.insert(line, data);
-        self.distress.remove(&line);
-        self.escalated.remove(&line);
-        self.stats.decommissions.inc();
-        // The job owes the line no further maintenance.
-        job.steps.retain(|s| {
-            !matches!(s,
-                Step::Correction { line: l, .. }
-                | Step::EcpWrite { line: l, .. }
-                | Step::CascadeVerify(l) if *l == line)
         });
-        job.cascade_pending.retain(|(l, _)| *l != line);
-        // Absorb any queued write to the line (coalescing keeps at most
-        // one) so its requester still sees a completion.
-        let removed = {
-            let b = &mut self.banks[bank];
-            if b.wq_contains(line) {
-                let e = b
-                    .write_q
-                    .iter()
-                    .position(|e| e.access.addr == line)
-                    .and_then(|pos| b.write_q.remove(pos));
-                if e.is_some() {
-                    b.wq_note_remove(line);
-                }
-                e
-            } else {
-                None
-            }
-        };
-        if let Some(e) = removed {
-            if let AccessKind::Write(d) = e.access.kind {
-                self.salvaged.insert(line, d);
-            }
-            self.push_completion(Completion {
-                id: e.access.id,
-                at: at + self.cfg.forward_latency,
-                was_write: true,
-                data: None,
-            });
-        }
-        true
     }
 
-    /// Clears from `patched` every cell of `line` that `job` still
-    /// tracks as disturbed-but-unfixed: cells of queued corrections and
-    /// ECP records, cascade victims awaiting verification, and injected
-    /// bit-line victims whose post-read has not resolved yet. Used by
-    /// decommissioning to reconstruct the true architectural content.
-    fn cleanse_job_disturbances(
-        geometry: &MemGeometry,
-        job: &WriteJob,
-        line: LineAddr,
-        patched: &mut LineBuf,
-    ) {
-        for s in &job.steps {
-            match s {
-                Step::Correction { line: l, cells } | Step::EcpWrite { line: l, cells }
-                    if *l == line =>
-                {
-                    for &bit in cells {
-                        patched.set_bit(bit as usize, false);
-                    }
-                }
-                _ => {}
-            }
-        }
-        for (l, cells) in &job.cascade_pending {
-            if *l == line {
-                for &bit in cells {
-                    patched.set_bit(bit as usize, false);
-                }
-            }
-        }
-        let neighbors = geometry.bitline_neighbors(job.entry.access.addr);
-        for side in Side::BOTH {
-            if neighbors[side.idx()] == Some(line) {
-                for &bit in &job.injected[side.idx()] {
-                    patched.set_bit(bit as usize, false);
-                }
-            }
-        }
-    }
-
-    /// Records buffered-WD cells into a line's ECP table, charging the
-    /// ECP chip's wear (10 bits per record). The correct value of a
-    /// disturbed cell is always `0` — WD only crystallizes amorphous
-    /// cells. A record that overflows despite the earlier capacity check
-    /// (a racing hard error can steal the slot) degrades to a direct
-    /// RESET fix of the cell.
-    fn record_ecp(&mut self, line: LineAddr, cells: &[u16]) {
-        for &bit in cells {
-            match self
-                .store
-                .ecp_mut(line)
-                .record(bit, false, EcpKind::Disturb)
-            {
-                Ok(()) => {
-                    self.store.wear_mut().charge_ecp_record();
-                    self.stats.ecp_records.inc();
-                }
-                Err(_) => {
-                    self.stats.ecp_overflow_fixes.inc();
-                    let fix = DiffMask::reset_only_cells(&[bit]);
-                    self.store.apply_write(line, &fix, WriteClass::Correction);
-                }
-            }
-        }
-    }
-
-    /// Whether pausing `job` now would let a pending read observe a
-    /// physically disturbed, not-yet-verified line. Before the array
-    /// write commits there is no collateral (and reads of the write's
-    /// own line are forwarded from the queue entry); after commit, the
-    /// job's unverified victims — neighbours with injected errors and
-    /// cascade-pending lines — are off limits.
-    fn pause_is_safe(&self, bank: usize, job: &WriteJob) -> bool {
-        if !job.committed {
-            return true;
-        }
-        let neighbors = self.geometry.bitline_neighbors(job.entry.access.addr);
-        // Hazard predicate evaluated per queued read — avoids
-        // materializing the hazard list on every pause check.
-        let is_hazard = |addr: LineAddr| -> bool {
-            for side in Side::BOTH {
-                if !job.injected[side.idx()].is_empty() && neighbors[side.idx()] == Some(addr) {
-                    return true;
-                }
-            }
-            if job.cascade_pending.iter().any(|(l, _)| *l == addr) {
-                return true;
-            }
-            // Lines awaiting a queued correction / ECP record / cascade
-            // verify are also physically dirty until their step runs.
-            if job.steps.iter().any(|s| {
-                matches!(s,
-                    Step::Correction { line, .. }
-                    | Step::EcpWrite { line, .. }
-                    | Step::CascadeVerify(line) if *line == addr)
-            }) {
-                return true;
-            }
-            !job.pending_wl.is_empty() && job.entry.access.addr == addr
-        };
-        self.banks[bank].read_q.iter().all(|r| !is_hazard(r.addr))
-    }
-
-    /// First-touch hard-error planting for the DIMM-aging experiments.
-    fn plant_hard(&mut self, line: LineAddr) {
-        self.plant_hard_excluding(line, &[]);
-    }
-
-    /// First-touch hard-error planting; cells listed in `known_errors`
-    /// are raw-disturbed but architecturally `0`, so a fault landing on
-    /// one must record `0` as the correct value, not the corrupted raw
-    /// bit.
-    fn plant_hard_excluding(&mut self, line: LineAddr, known_errors: &[u16]) {
-        let Some((model, age)) = self.hard_plan else {
-            return;
-        };
-        if !self.planted.insert(line) {
+    /// Hands a lane's freshly committed write addresses to the chaos
+    /// harness, polling the fault plan once per commit (the legacy
+    /// per-write granularity).
+    fn drain_commits(&mut self, bank: usize, at: Cycle) {
+        if self.lanes[bank].recent_commits.is_empty() {
             return;
         }
-        let k = model.sample_line_errors(age, &mut self.rng);
-        for _ in 0..k {
-            let bit = self.rng.below(512) as u16;
-            let stuck = self.rng.chance(0.5);
-            if known_errors.contains(&bit) {
-                self.store
-                    .plant_hard_error_with_value(line, bit, stuck, false);
-            } else {
-                self.store.plant_hard_error(line, bit, stuck);
+        let commits = std::mem::take(&mut self.lanes[bank].recent_commits);
+        for addr in commits {
+            self.recent_writes.push_back(addr);
+            while self.recent_writes.len() > RECENT_WRITES_CAP {
+                self.recent_writes.pop_front();
             }
+            self.apply_chaos(at);
         }
+        // Hand the (drained) buffer's capacity back to the lane.
     }
 
     // ----- chaos harness -----
 
-    /// Bookkeeping after every committed demand write: remembers the
-    /// address as a chaos victim candidate and advances the fault plan.
-    /// Scheduling is keyed on the committed-write count — not the wall
-    /// cycle — so a plan replays bit-exactly regardless of timing config.
-    fn note_committed_write(&mut self, addr: LineAddr, at: Cycle) {
-        self.recent_writes.push_back(addr);
-        while self.recent_writes.len() > RECENT_WRITES_CAP {
-            self.recent_writes.pop_front();
-        }
-        if self.chaos.is_some() {
-            self.apply_chaos(at);
-        }
-    }
-
     /// Drains every fault action due at the current write count.
     fn apply_chaos(&mut self, at: Cycle) {
-        let committed = self.stats.writes.get();
+        let committed: u64 = self.lanes.iter().map(|l| l.stats.writes.get()).sum();
         let actions = match &mut self.chaos {
             Some(engine) => engine.poll(committed),
             None => return,
@@ -1837,7 +2180,7 @@ impl MemoryController {
                 if self.injector.set_storm(mult).is_err() {
                     // ChaosPlan::new validated the multiplier; reaching
                     // here means the plan was corrupted in flight.
-                    self.note_anomaly("chaos storm multiplier went invalid");
+                    self.lanes[0].note_anomaly("chaos storm multiplier went invalid");
                     return;
                 }
             }
@@ -1850,24 +2193,34 @@ impl MemoryController {
                     let victim = if self.recent_writes.is_empty() {
                         LineAddr {
                             bank: sdpcm_pcm::geometry::BankId(
-                                self.rng.below(self.banks.len() as u64) as u16,
+                                self.chaos_rng.below(self.lanes.len() as u64) as u16,
                             ),
                             row: sdpcm_pcm::geometry::RowId(
-                                self.rng.below(u64::from(self.geometry.rows_per_bank())) as u32,
+                                self.chaos_rng
+                                    .below(u64::from(self.geometry.rows_per_bank()))
+                                    as u32,
                             ),
-                            slot: self.rng.below(sdpcm_pcm::geometry::LINES_PER_ROW as u64) as u8,
+                            slot: self
+                                .chaos_rng
+                                .below(sdpcm_pcm::geometry::LINES_PER_ROW as u64)
+                                as u8,
                         }
                     } else {
-                        let i = self.rng.index(self.recent_writes.len());
+                        let i = self.chaos_rng.index(self.recent_writes.len());
                         self.recent_writes[i]
                     };
-                    if self.salvaged.contains_key(&victim) {
+                    if self.lanes[victim.bank.0 as usize]
+                        .salvaged
+                        .contains_key(&victim)
+                    {
                         continue;
                     }
                     for _ in 0..cells_per_line {
-                        let bit = self.rng.below(512) as u16;
-                        let stuck = self.rng.chance(0.5);
-                        self.store.plant_hard_error(victim, bit, stuck);
+                        let bit = self.chaos_rng.below(512) as u16;
+                        let stuck = self.chaos_rng.chance(0.5);
+                        self.store
+                            .lane_mut(victim.bank.0)
+                            .plant_hard_error(victim, bit, stuck);
                     }
                 }
             }
@@ -1878,7 +2231,8 @@ impl MemoryController {
                 self.hard_plan = Some((model, lifetime_fraction));
             }
         }
-        self.stats.fault_events.inc();
+        let fault_lane = &mut self.lanes[0];
+        fault_lane.stats.fault_events.inc();
         self.fault_log.push(FaultEvent {
             at_write: committed,
             at_cycle: at.0,
@@ -1886,7 +2240,6 @@ impl MemoryController {
         });
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

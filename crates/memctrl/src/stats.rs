@@ -24,6 +24,18 @@ pub struct PhaseCycles {
 }
 
 impl PhaseCycles {
+    /// Adds another phase tally into this one (bank-lane aggregation).
+    pub fn merge(&mut self, other: &PhaseCycles) {
+        self.pre_reads += other.pre_reads;
+        self.array_writes += other.array_writes;
+        self.own_verifies += other.own_verifies;
+        self.own_fixes += other.own_fixes;
+        self.post_reads += other.post_reads;
+        self.ecp_writes += other.ecp_writes;
+        self.corrections += other.corrections;
+        self.cascade_reads += other.cascade_reads;
+    }
+
     /// Verification-side cycles: the pre/post reads every VnC write pays
     /// regardless of whether errors appeared.
     #[must_use]
@@ -155,6 +167,47 @@ impl CtrlStats {
             bl_errors_per_neighbor: Histogram::with_cap(32),
             errors_per_verification: Histogram::with_cap(32),
         }
+    }
+
+    /// Merges another bank lane's statistics into this one. Every field
+    /// is a commutative aggregate (counters, cycle sums, bucketed
+    /// histograms/sketches), so merging lane tallies in fixed bank order
+    /// reproduces the totals a single global tally would have collected.
+    pub fn merge(&mut self, other: &CtrlStats) {
+        self.reads.merge(other.reads);
+        self.read_forwards.merge(other.read_forwards);
+        self.writes.merge(other.writes);
+        self.read_latency_total += other.read_latency_total;
+        self.read_latency_sketch.merge(&other.read_latency_sketch);
+        self.phases.merge(&other.phases);
+        self.correction_ops.merge(other.correction_ops);
+        self.corrected_cells.merge(other.corrected_cells);
+        self.ecp_records.merge(other.ecp_records);
+        self.verification_ops.merge(other.verification_ops);
+        self.cascade_rounds.merge(other.cascade_rounds);
+        self.cascade_overflows.merge(other.cascade_overflows);
+        self.write_cancellations.merge(other.write_cancellations);
+        self.write_pauses.merge(other.write_pauses);
+        self.gap_moves.merge(other.gap_moves);
+        self.prereads_issued.merge(other.prereads_issued);
+        self.preread_forwards.merge(other.preread_forwards);
+        self.drains.merge(other.drains);
+        self.ecp_exhaustions.merge(other.ecp_exhaustions);
+        self.correction_retries.merge(other.correction_retries);
+        self.immediate_corrections
+            .merge(other.immediate_corrections);
+        self.decommissions.merge(other.decommissions);
+        self.salvaged_reads.merge(other.salvaged_reads);
+        self.salvaged_writes.merge(other.salvaged_writes);
+        self.salvage_rejections.merge(other.salvage_rejections);
+        self.ecp_overflow_fixes.merge(other.ecp_overflow_fixes);
+        self.internal_anomalies.merge(other.internal_anomalies);
+        self.fault_events.merge(other.fault_events);
+        self.wl_errors.merge(&other.wl_errors);
+        self.bl_errors_per_neighbor
+            .merge(&other.bl_errors_per_neighbor);
+        self.errors_per_verification
+            .merge(&other.errors_per_verification);
     }
 
     /// Average demand-read latency in cycles.

@@ -53,6 +53,15 @@ pub struct LineAddr {
     pub slot: u8,
 }
 
+impl LineAddr {
+    /// A collision-free 64-bit encoding of the address, used to key
+    /// order-free random substreams (bank ≪ 40 | row ≪ 8 | slot).
+    #[must_use]
+    pub fn stream_key(&self) -> u64 {
+        (u64::from(self.bank.0) << 40) | (u64::from(self.row.0) << 8) | u64::from(self.slot)
+    }
+}
+
 impl fmt::Display for LineAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b{}r{}s{}", self.bank.0, self.row.0, self.slot)

@@ -77,8 +77,34 @@ pub struct DeviceStore {
     geometry: MemGeometry,
     ecp_entries: usize,
     init: InitContent,
-    banks: Vec<FxHashMap<(u32, u8), LineState>>,
+    banks: Vec<BankStore>,
+}
+
+/// The materialized lines and wear tally of a single bank.
+///
+/// Keeping wear accounting per bank (merged on read) lets bank lanes be
+/// advanced concurrently without sharing a mutable meter; each lane
+/// charges wear in its own bank-local event order, so totals are
+/// independent of how lanes were scheduled across host threads.
+#[derive(Debug, Default)]
+struct BankStore {
+    lines: FxHashMap<(u32, u8), LineState>,
     wear: WearMeter,
+}
+
+/// Mutable view of one bank of the store.
+///
+/// Holds everything needed to serve per-line device primitives for
+/// addresses within that bank, borrowed disjointly from the other banks
+/// so independent bank lanes can operate in parallel. Every method
+/// debug-asserts that the address belongs to the viewed bank.
+#[derive(Debug)]
+pub struct StoreLane<'a> {
+    geometry: &'a MemGeometry,
+    ecp_entries: usize,
+    init: InitContent,
+    bank_id: u16,
+    bank: &'a mut BankStore,
 }
 
 impl DeviceStore {
@@ -96,31 +122,15 @@ impl DeviceStore {
             ecp_entries,
             init,
             banks: (0..geometry.banks())
-                .map(|_| FxHashMap::default())
+                .map(|_| BankStore::default())
                 .collect(),
-            wear: WearMeter::default(),
         }
     }
 
     /// The initial content of an untouched line.
     #[must_use]
     pub fn initial_line(&self, addr: LineAddr) -> LineBuf {
-        match self.init {
-            InitContent::Zeroed => LineBuf::zeroed(),
-            InitContent::Pseudorandom(seed) => {
-                let mut words = [0u64; 8];
-                let base = seed
-                    ^ (u64::from(addr.bank.0) << 48)
-                    ^ (u64::from(addr.row.0) << 8)
-                    ^ u64::from(addr.slot);
-                for (i, w) in words.iter_mut().enumerate() {
-                    *w = splitmix64(
-                        base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
-                    );
-                }
-                LineBuf::from_words(words)
-            }
-        }
+        initial_line_of(self.init, addr)
     }
 
     /// The geometry this store was built with.
@@ -135,40 +145,62 @@ impl DeviceStore {
         self.ecp_entries
     }
 
-    /// Wear accounting collected so far.
+    /// Wear accounting collected so far, aggregated over the per-bank
+    /// meters in fixed bank order.
     #[must_use]
-    pub fn wear(&self) -> &WearMeter {
-        &self.wear
-    }
-
-    /// Mutable wear accounting (for callers that track extra components,
-    /// e.g. ECP-chip record traffic).
-    pub fn wear_mut(&mut self) -> &mut WearMeter {
-        &mut self.wear
+    pub fn wear(&self) -> WearMeter {
+        let mut total = WearMeter::default();
+        for bank in &self.banks {
+            total.merge(&bank.wear);
+        }
+        total
     }
 
     /// Number of materialized lines (test/diagnostic aid).
     #[must_use]
     pub fn materialized_lines(&self) -> usize {
-        self.banks.iter().map(FxHashMap::len).sum()
+        self.banks.iter().map(|b| b.lines.len()).sum()
+    }
+
+    /// Mutable view of one bank, for the bank-sharded controller lanes.
+    ///
+    /// # Panics
+    /// Panics if `bank` is out of range for the geometry.
+    #[must_use]
+    pub fn lane_mut(&mut self, bank: u16) -> StoreLane<'_> {
+        StoreLane {
+            geometry: &self.geometry,
+            ecp_entries: self.ecp_entries,
+            init: self.init,
+            bank_id: bank,
+            bank: &mut self.banks[bank as usize],
+        }
+    }
+
+    /// Disjoint mutable views of every bank at once, in bank order —
+    /// the parallel-advance path hands one to each worker.
+    #[must_use]
+    pub fn lanes_mut(&mut self) -> Vec<StoreLane<'_>> {
+        let geometry = &self.geometry;
+        let ecp_entries = self.ecp_entries;
+        let init = self.init;
+        self.banks
+            .iter_mut()
+            .enumerate()
+            .map(|(b, bank)| StoreLane {
+                geometry,
+                ecp_entries,
+                init,
+                bank_id: b as u16,
+                bank,
+            })
+            .collect()
     }
 
     fn line(&self, addr: LineAddr) -> Option<&LineState> {
-        self.banks[addr.bank.0 as usize].get(&(addr.row.0, addr.slot))
-    }
-
-    fn line_mut(&mut self, addr: LineAddr) -> &mut LineState {
-        debug_assert!(addr.row.0 < self.geometry.rows_per_bank());
-        debug_assert!((addr.slot as usize) < LINES_PER_ROW);
-        let entries = self.ecp_entries;
-        let initial = self.initial_line(addr);
         self.banks[addr.bank.0 as usize]
-            .entry((addr.row.0, addr.slot))
-            .or_insert_with(|| {
-                let mut l = LineState::new(entries);
-                l.data = initial;
-                l
-            })
+            .lines
+            .get(&(addr.row.0, addr.slot))
     }
 
     /// Raw array contents of a line — *without* ECP patching. Untouched
@@ -221,16 +253,7 @@ impl DeviceStore {
     ///
     /// Wear is charged to `class` (normal data write vs correction).
     pub fn apply_write(&mut self, addr: LineAddr, diff: &DiffMask, class: WriteClass) -> LineBuf {
-        let _t = prof::timer(Site::StoreWrite);
-        let line = self.line_mut(addr);
-        let mut after = diff.apply(&line.data);
-        for &(bit, stuck_val) in &line.stuck {
-            after.set_bit(bit as usize, stuck_val);
-        }
-        line.data = after;
-        self.wear
-            .charge_data_bits(u64::from(diff.changed_count()), class);
-        after
+        self.lane_mut(addr.bank.0).apply_write(addr, diff, class)
     }
 
     /// Crystallizes one cell of a line: the write-disturbance effect
@@ -238,15 +261,7 @@ impl DeviceStore {
     /// Returns whether the cell actually changed state — stuck cells are
     /// unaffected, and an already-crystalline cell cannot flip again.
     pub fn inject_disturb(&mut self, addr: LineAddr, bit: u16) -> bool {
-        let line = self.line_mut(addr);
-        if line.stuck.iter().any(|&(b, _)| b == bit) {
-            return false;
-        }
-        if line.data.bit(bit as usize) {
-            return false;
-        }
-        line.data.set_bit(bit as usize, true);
-        true
+        self.lane_mut(addr.bank.0).inject_disturb(addr, bit)
     }
 
     /// Plants a permanent stuck-at fault and records it in the line's ECP
@@ -254,15 +269,8 @@ impl DeviceStore {
     /// the ECP table could not absorb it (table full of hard errors) — the
     /// line is then unprotected, as in the paper's end-of-life regime.
     pub fn plant_hard_error(&mut self, addr: LineAddr, bit: u16, stuck_val: bool) -> bool {
-        // The ECP entry must preserve the architectural value the cell
-        // held *before* failing (subsequent writes refresh it via
-        // `refresh_hard_values`), so capture it before forcing the stuck
-        // state onto the array.
-        let correct = {
-            let line = self.line_mut(addr);
-            line.ecp.patch(&line.data).bit(bit as usize)
-        };
-        self.plant_hard_error_with_value(addr, bit, stuck_val, correct)
+        self.lane_mut(addr.bank.0)
+            .plant_hard_error(addr, bit, stuck_val)
     }
 
     /// Like [`DeviceStore::plant_hard_error`], but with the architectural
@@ -276,12 +284,8 @@ impl DeviceStore {
         stuck_val: bool,
         correct: bool,
     ) -> bool {
-        let line = self.line_mut(addr);
-        if !line.stuck.iter().any(|&(b, _)| b == bit) {
-            line.stuck.push((bit, stuck_val));
-            line.data.set_bit(bit as usize, stuck_val);
-        }
-        line.ecp.try_record(bit, correct, EcpKind::Hard)
+        self.lane_mut(addr.bank.0)
+            .plant_hard_error_with_value(addr, bit, stuck_val, correct)
     }
 
     /// Refreshes the ECP `value` fields of hard-error entries after a
@@ -289,12 +293,8 @@ impl DeviceStore {
     ///
     /// `intended` is the data the write was supposed to store.
     pub fn refresh_hard_values(&mut self, addr: LineAddr, intended: &LineBuf) {
-        let line = self.line_mut(addr);
-        let stuck = line.stuck.clone();
-        for (bit, _) in stuck {
-            line.ecp
-                .try_record(bit, intended.bit(bit as usize), EcpKind::Hard);
-        }
+        self.lane_mut(addr.bank.0)
+            .refresh_hard_values(addr, intended);
     }
 
     /// A snapshot of a line's ECP table (empty table for untouched
@@ -315,7 +315,9 @@ impl DeviceStore {
 
     /// Mutable access to a line's ECP table (materializes the line).
     pub fn ecp_mut(&mut self, addr: LineAddr) -> &mut EcpTable {
-        &mut self.line_mut(addr).ecp
+        let init = self.init;
+        let entries = self.ecp_entries;
+        &mut materialize_line(&mut self.banks[addr.bank.0 as usize], init, entries, addr).ecp
     }
 
     /// Number of stuck cells planted on a line.
@@ -338,8 +340,8 @@ impl DeviceStore {
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut total: u64 = 0;
         let mut count: u64 = 0;
-        for (bank, lines) in self.banks.iter().enumerate() {
-            for (key, line) in lines {
+        for (bank, store) in self.banks.iter().enumerate() {
+            for (key, line) in &store.lines {
                 let mut h = OFFSET;
                 let mut mix = |v: u64| {
                     for byte in v.to_le_bytes() {
@@ -366,6 +368,190 @@ impl DeviceStore {
             }
         }
         total ^ count.wrapping_mul(PRIME)
+    }
+}
+
+impl<'a> StoreLane<'a> {
+    /// The bank this lane views.
+    #[must_use]
+    pub fn bank_id(&self) -> u16 {
+        self.bank_id
+    }
+
+    fn line(&self, addr: LineAddr) -> Option<&LineState> {
+        debug_assert_eq!(addr.bank.0, self.bank_id, "address outside lane bank");
+        self.bank.lines.get(&(addr.row.0, addr.slot))
+    }
+
+    fn line_mut(&mut self, addr: LineAddr) -> &mut LineState {
+        debug_assert_eq!(addr.bank.0, self.bank_id, "address outside lane bank");
+        debug_assert!(addr.row.0 < self.geometry.rows_per_bank());
+        debug_assert!((addr.slot as usize) < LINES_PER_ROW);
+        materialize_line(self.bank, self.init, self.ecp_entries, addr)
+    }
+
+    /// The initial content of an untouched line.
+    #[must_use]
+    pub fn initial_line(&self, addr: LineAddr) -> LineBuf {
+        initial_line_of(self.init, addr)
+    }
+
+    /// Raw array contents of a line (see [`DeviceStore::raw_line`]).
+    #[must_use]
+    pub fn raw_line(&self, addr: LineAddr) -> LineBuf {
+        let _t = prof::timer(Site::StoreRead);
+        self.line(addr)
+            .map_or_else(|| self.initial_line(addr), |l| l.data)
+    }
+
+    /// Borrowed raw contents of a materialized line (see
+    /// [`DeviceStore::raw_line_ref`]).
+    #[must_use]
+    pub fn raw_line_ref(&self, addr: LineAddr) -> Option<&LineBuf> {
+        self.line(addr).map(|l| &l.data)
+    }
+
+    /// Architectural read (see [`DeviceStore::read_line`]).
+    #[must_use]
+    pub fn read_line(&self, addr: LineAddr) -> LineBuf {
+        let _t = prof::timer(Site::StoreRead);
+        match self.line(addr) {
+            None => self.initial_line(addr),
+            Some(l) if l.ecp.entries().is_empty() => l.data,
+            Some(l) => l.ecp.patch(&l.data),
+        }
+    }
+
+    /// Borrowed architectural contents when no ECP patching is needed
+    /// (see [`DeviceStore::read_line_ref`]).
+    #[must_use]
+    pub fn read_line_ref(&self, addr: LineAddr) -> Option<&LineBuf> {
+        self.line(addr)
+            .filter(|l| l.ecp.entries().is_empty())
+            .map(|l| &l.data)
+    }
+
+    /// Applies a differential write (see [`DeviceStore::apply_write`]).
+    /// Wear is charged to this lane's bank meter.
+    pub fn apply_write(&mut self, addr: LineAddr, diff: &DiffMask, class: WriteClass) -> LineBuf {
+        let _t = prof::timer(Site::StoreWrite);
+        let line = self.line_mut(addr);
+        let mut after = diff.apply(&line.data);
+        for &(bit, stuck_val) in &line.stuck {
+            after.set_bit(bit as usize, stuck_val);
+        }
+        line.data = after;
+        self.bank
+            .wear
+            .charge_data_bits(u64::from(diff.changed_count()), class);
+        after
+    }
+
+    /// Crystallizes one cell (see [`DeviceStore::inject_disturb`]).
+    pub fn inject_disturb(&mut self, addr: LineAddr, bit: u16) -> bool {
+        let line = self.line_mut(addr);
+        if line.stuck.iter().any(|&(b, _)| b == bit) {
+            return false;
+        }
+        if line.data.bit(bit as usize) {
+            return false;
+        }
+        line.data.set_bit(bit as usize, true);
+        true
+    }
+
+    /// Plants a stuck-at fault (see [`DeviceStore::plant_hard_error`]).
+    pub fn plant_hard_error(&mut self, addr: LineAddr, bit: u16, stuck_val: bool) -> bool {
+        let correct = {
+            let line = self.line_mut(addr);
+            line.ecp.patch(&line.data).bit(bit as usize)
+        };
+        self.plant_hard_error_with_value(addr, bit, stuck_val, correct)
+    }
+
+    /// Plants a stuck-at fault with a caller-supplied architectural value
+    /// (see [`DeviceStore::plant_hard_error_with_value`]).
+    pub fn plant_hard_error_with_value(
+        &mut self,
+        addr: LineAddr,
+        bit: u16,
+        stuck_val: bool,
+        correct: bool,
+    ) -> bool {
+        let line = self.line_mut(addr);
+        if !line.stuck.iter().any(|&(b, _)| b == bit) {
+            line.stuck.push((bit, stuck_val));
+            line.data.set_bit(bit as usize, stuck_val);
+        }
+        line.ecp.try_record(bit, correct, EcpKind::Hard)
+    }
+
+    /// Refreshes hard-error ECP values after a write (see
+    /// [`DeviceStore::refresh_hard_values`]).
+    pub fn refresh_hard_values(&mut self, addr: LineAddr, intended: &LineBuf) {
+        let line = self.line_mut(addr);
+        let stuck = line.stuck.clone();
+        for (bit, _) in stuck {
+            line.ecp
+                .try_record(bit, intended.bit(bit as usize), EcpKind::Hard);
+        }
+    }
+
+    /// Borrowed view of a line's ECP table (see
+    /// [`DeviceStore::ecp_ref`]).
+    #[must_use]
+    pub fn ecp_ref(&self, addr: LineAddr) -> Option<&EcpTable> {
+        self.line(addr).map(|l| &l.ecp)
+    }
+
+    /// Mutable access to a line's ECP table (materializes the line).
+    pub fn ecp_mut(&mut self, addr: LineAddr) -> &mut EcpTable {
+        &mut self.line_mut(addr).ecp
+    }
+
+    /// Number of stuck cells planted on a line.
+    #[must_use]
+    pub fn hard_error_count(&self, addr: LineAddr) -> usize {
+        self.line(addr).map_or(0, |l| l.stuck.len())
+    }
+
+    /// Charges one ECP-chip record write to this bank's wear meter.
+    pub fn charge_ecp_record(&mut self) {
+        self.bank.wear.charge_ecp_record();
+    }
+}
+
+fn materialize_line(
+    bank: &mut BankStore,
+    init: InitContent,
+    ecp_entries: usize,
+    addr: LineAddr,
+) -> &mut LineState {
+    bank.lines
+        .entry((addr.row.0, addr.slot))
+        .or_insert_with(|| {
+            let mut l = LineState::new(ecp_entries);
+            l.data = initial_line_of(init, addr);
+            l
+        })
+}
+
+fn initial_line_of(init: InitContent, addr: LineAddr) -> LineBuf {
+    match init {
+        InitContent::Zeroed => LineBuf::zeroed(),
+        InitContent::Pseudorandom(seed) => {
+            let mut words = [0u64; 8];
+            let base = seed
+                ^ (u64::from(addr.bank.0) << 48)
+                ^ (u64::from(addr.row.0) << 8)
+                ^ u64::from(addr.slot);
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = splitmix64(
+                    base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+                );
+            }
+            LineBuf::from_words(words)
+        }
     }
 }
 

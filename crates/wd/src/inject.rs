@@ -3,17 +3,29 @@
 //! Bridges the analytic models to the simulated device: given a write's
 //! differential mask and the contents of the neighbourhood, the injector
 //! rolls the calibrated per-RESET disturbance probabilities and returns
-//! the cells that actually flip. All draws come from one seeded stream,
-//! so a full-system run is reproducible.
+//! the cells that actually flip.
+//!
+//! Draws are *order-free*: every injection event carries an explicit
+//! [`RngStream`] derived from the event's identity (line address and
+//! per-line injection epoch via [`WdInjector::event`]), so the victims
+//! of one committed write are a pure function of the experiment seed and
+//! the event — not of how many other draws happened first. That is what
+//! lets per-bank controller lanes inject concurrently while the full run
+//! stays bit-identical at any worker count.
 
 use sdpcm_engine::prof::{self, Site};
-use sdpcm_engine::{ChanceGate, SimRng};
+use sdpcm_engine::{ChanceGate, RngStream, SimRng};
 use sdpcm_pcm::line::{DiffMask, LineBuf};
 
 use crate::disturb::DisturbanceModel;
 use crate::pattern::wordline_vulnerable_mask;
 use crate::scaling::ArraySpacing;
 use crate::thermal::Direction;
+
+/// Substream tag for word-line draws within one injection event.
+const WL_LANE: u64 = 1;
+/// Substream tag base for bit-line draws (`+ side`, side in `{0, 1}`).
+const BL_LANE: u64 = 2;
 
 /// A rejected injector configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,7 +70,7 @@ impl std::error::Error for WdError {}
 /// use sdpcm_wd::scaling::ArraySpacing;
 ///
 /// let rng = SimRng::from_seed_label(1, "inject");
-/// let mut inj = WdInjector::new(
+/// let inj = WdInjector::new(
 ///     &DisturbanceModel::calibrated(),
 ///     ArraySpacing::super_dense(),
 ///     rng,
@@ -76,7 +88,8 @@ pub struct WdInjector {
     /// shift and an integer compare (see [`ChanceGate`]).
     gate_wl: ChanceGate,
     gate_bl: ChanceGate,
-    rng: SimRng,
+    /// Root of every injection substream; draws never mutate it.
+    stream: RngStream,
 }
 
 impl WdInjector {
@@ -90,7 +103,7 @@ impl WdInjector {
             storm: 1.0,
             gate_wl: ChanceGate::new(0.0),
             gate_bl: ChanceGate::new(0.0),
-            rng,
+            stream: rng.stream(),
         };
         inj.refresh_gates();
         inj
@@ -110,7 +123,7 @@ impl WdInjector {
             storm: 1.0,
             gate_wl: ChanceGate::new(0.0),
             gate_bl: ChanceGate::new(0.0),
-            rng,
+            stream: rng.stream(),
         };
         inj.refresh_gates();
         Ok(inj)
@@ -162,29 +175,47 @@ impl WdInjector {
         self.storm
     }
 
+    /// The draw stream for one injection event, keyed on the event's
+    /// identity — typically `(LineAddr::stream_key, per-line epoch)`.
+    /// Pure: callers on different threads may derive events concurrently.
+    #[must_use]
+    #[inline]
+    pub fn event(&self, key: u64, epoch: u64) -> RngStream {
+        self.stream.keyed(key).keyed(epoch)
+    }
+
     /// Rolls word-line disturbances for a write: which idle `0` cells of
     /// the written line flip to `1`. `after` is the line's post-write
-    /// content, `diff` the write's mask.
-    pub fn draw_wordline(&mut self, after: &LineBuf, diff: &DiffMask) -> Vec<u16> {
+    /// content, `diff` the write's mask, `ev` the event stream from
+    /// [`WdInjector::event`].
+    #[must_use]
+    pub fn draw_wordline(&self, ev: &RngStream, after: &LineBuf, diff: &DiffMask) -> Vec<u16> {
         let mut out = Vec::new();
-        self.draw_wordline_into(after, diff, &mut out);
+        self.draw_wordline_into(ev, after, diff, &mut out);
         out
     }
 
     /// Allocation-free form of [`WdInjector::draw_wordline`]: victims are
     /// appended to `out` (which is cleared first), iterating the
     /// vulnerable-cell mask directly instead of materializing the victim
-    /// list. The RNG draw sequence is identical to the collecting form —
-    /// ascending victim order, one roll per RESET exposure with early
-    /// exit on the first hit, and no draws at all when the effective
-    /// probability is zero.
-    pub fn draw_wordline_into(&mut self, after: &LineBuf, diff: &DiffMask, out: &mut Vec<u16>) {
+    /// list. Draws walk the event's word-line substream in ascending
+    /// victim order — one roll per RESET exposure with early exit on the
+    /// first hit, and no draws at all when the effective probability is
+    /// zero.
+    pub fn draw_wordline_into(
+        &self,
+        ev: &RngStream,
+        after: &LineBuf,
+        diff: &DiffMask,
+        out: &mut Vec<u16>,
+    ) {
         out.clear();
         let gate = self.gate_wl;
         if gate.is_never() {
             return;
         }
         let _t = prof::timer(Site::WdDraw);
+        let mut seq = ev.keyed(WL_LANE).sequence();
         let mut draws = 0u64;
         for b in wordline_vulnerable_mask(after, diff).iter_ones() {
             // A victim flanked by two RESET cells faces two independent
@@ -194,7 +225,7 @@ impl WdInjector {
             let exposures = usize::from(left) + usize::from(right);
             for _ in 0..exposures {
                 draws += 1;
-                if self.rng.chance_gate(gate) {
+                if seq.chance_gate(gate) {
                     out.push(b as u16);
                     break;
                 }
@@ -205,22 +236,40 @@ impl WdInjector {
 
     /// Rolls bit-line disturbances in one adjacent line: which of its `0`
     /// cells under RESET positions of the written line flip to `1`.
-    pub fn draw_bitline(&mut self, diff: &DiffMask, neighbor: &LineBuf) -> Vec<u16> {
+    /// `side` distinguishes the two neighbours of a write (0 = row above,
+    /// 1 = row below) so their draws come from independent substreams.
+    #[must_use]
+    pub fn draw_bitline(
+        &self,
+        ev: &RngStream,
+        side: usize,
+        diff: &DiffMask,
+        neighbor: &LineBuf,
+    ) -> Vec<u16> {
         let mut out = Vec::new();
-        self.draw_bitline_into(diff, neighbor, &mut out);
+        self.draw_bitline_into(ev, side, diff, neighbor, &mut out);
         out
     }
 
     /// Allocation-free form of [`WdInjector::draw_bitline`]: victims are
     /// appended to `out` (cleared first), iterating the `resets & !stored`
-    /// mask word by word. RNG draw order matches the collecting form.
-    pub fn draw_bitline_into(&mut self, diff: &DiffMask, neighbor: &LineBuf, out: &mut Vec<u16>) {
+    /// mask word by word along the event's per-side substream.
+    pub fn draw_bitline_into(
+        &self,
+        ev: &RngStream,
+        side: usize,
+        diff: &DiffMask,
+        neighbor: &LineBuf,
+        out: &mut Vec<u16>,
+    ) {
+        debug_assert!(side < 2, "a write has two bit-line sides");
         out.clear();
         let gate = self.gate_bl;
         if gate.is_never() {
             return;
         }
         let _t = prof::timer(Site::WdDraw);
+        let mut seq = ev.keyed(BL_LANE + side as u64).sequence();
         let mut draws = 0u64;
         let reset_mask = diff.reset_mask();
         for (wi, (&r, &n)) in reset_mask
@@ -234,7 +283,7 @@ impl WdInjector {
                 let b = vulnerable.trailing_zeros() as usize;
                 vulnerable &= vulnerable - 1;
                 draws += 1;
-                if self.rng.chance_gate(gate) {
+                if seq.chance_gate(gate) {
                     out.push((wi * 64 + b) as u16);
                 }
             }
@@ -264,34 +313,40 @@ mod tests {
 
     #[test]
     fn zero_probability_injects_nothing() {
-        let mut inj = injector(0.0, 0.0);
+        let inj = injector(0.0, 0.0);
+        let ev = inj.event(1, 0);
         let (after, diff) = reset_heavy_diff(100);
-        assert!(inj.draw_wordline(&after, &diff).is_empty());
-        assert!(inj.draw_bitline(&diff, &LineBuf::zeroed()).is_empty());
+        assert!(inj.draw_wordline(&ev, &after, &diff).is_empty());
+        assert!(inj
+            .draw_bitline(&ev, 0, &diff, &LineBuf::zeroed())
+            .is_empty());
     }
 
     #[test]
     fn certain_probability_disturbs_all_vulnerable() {
-        let mut inj = injector(1.0, 1.0);
+        let inj = injector(1.0, 1.0);
+        let ev = inj.event(1, 0);
         let (after, diff) = reset_heavy_diff(10);
-        let wl = inj.draw_wordline(&after, &diff);
+        let wl = inj.draw_wordline(&ev, &after, &diff);
         assert_eq!(
             wl.len(),
             crate::pattern::wordline_vulnerable(&after, &diff).len()
         );
-        let bl = inj.draw_bitline(&diff, &LineBuf::zeroed());
+        let bl = inj.draw_bitline(&ev, 1, &diff, &LineBuf::zeroed());
         assert_eq!(bl.len(), 10);
     }
 
     #[test]
     fn bitline_rate_matches_probability() {
-        let mut inj = injector(0.0, 0.115);
+        let inj = injector(0.0, 0.115);
         let (_, diff) = reset_heavy_diff(100);
         let neighbor = LineBuf::zeroed();
         let trials = 2000;
         let mut hits = 0usize;
-        for _ in 0..trials {
-            hits += inj.draw_bitline(&diff, &neighbor).len();
+        for t in 0..trials {
+            // A fresh event per trial: distinct epochs are independent.
+            let ev = inj.event(7, t as u64);
+            hits += inj.draw_bitline(&ev, 0, &diff, &neighbor).len();
         }
         let rate = hits as f64 / (trials * 100) as f64;
         assert!((rate - 0.115).abs() < 0.01, "rate={rate}");
@@ -299,44 +354,72 @@ mod tests {
 
     #[test]
     fn crystalline_neighbors_never_disturbed() {
-        let mut inj = injector(1.0, 1.0);
+        let inj = injector(1.0, 1.0);
         let (_, diff) = reset_heavy_diff(20);
         let ones = LineBuf::zeroed().not();
-        assert!(inj.draw_bitline(&diff, &ones).is_empty());
+        assert!(inj
+            .draw_bitline(&inj.event(3, 0), 0, &diff, &ones)
+            .is_empty());
     }
 
     #[test]
-    fn deterministic_given_seed() {
+    fn draws_depend_only_on_event_identity() {
+        // The heart of the order-free contract: the victims of event
+        // (key, epoch) are the same no matter what was drawn before, in
+        // what order, or on which injector clone.
         let (after, diff) = reset_heavy_diff(50);
-        let mut a = injector(0.099, 0.115);
-        let mut b = injector(0.099, 0.115);
+        let a = injector(0.099, 0.115);
+        let b = injector(0.099, 0.115);
+        let ev = a.event(42, 7);
+        // `b` first draws a pile of unrelated events...
+        for e in 0..32 {
+            let _ = b.draw_wordline(&b.event(e, 0), &after, &diff);
+        }
+        // ...and still agrees with `a` about event (42, 7).
         assert_eq!(
-            a.draw_wordline(&after, &diff),
-            b.draw_wordline(&after, &diff)
+            a.draw_wordline(&ev, &after, &diff),
+            b.draw_wordline(&b.event(42, 7), &after, &diff)
         );
         assert_eq!(
-            a.draw_bitline(&diff, &LineBuf::zeroed()),
-            b.draw_bitline(&diff, &LineBuf::zeroed())
+            a.draw_bitline(&ev, 0, &diff, &LineBuf::zeroed()),
+            b.draw_bitline(&b.event(42, 7), 0, &diff, &LineBuf::zeroed())
         );
+        // The two sides of one event draw from independent substreams.
+        let up = a.draw_bitline(&ev, 0, &diff, &LineBuf::zeroed());
+        let down = a.draw_bitline(&ev, 1, &diff, &LineBuf::zeroed());
+        // (With 50 vulnerable cells at p=0.115 the odds of identical
+        // victim sets by chance are negligible; equality would mean the
+        // substreams collapsed.)
+        assert_ne!(up, down, "per-side substreams must be independent");
+    }
+
+    #[test]
+    fn distinct_epochs_draw_independently() {
+        let inj = injector(0.099, 0.115);
+        let (after, diff) = reset_heavy_diff(50);
+        let first = inj.draw_wordline(&inj.event(9, 0), &after, &diff);
+        let second = inj.draw_wordline(&inj.event(9, 1), &after, &diff);
+        assert_ne!(first, second, "epochs must not repeat draws");
     }
 
     #[test]
     fn into_forms_clear_and_match_collecting_forms() {
         let (after, diff) = reset_heavy_diff(50);
-        let mut a = injector(0.099, 0.115);
-        let mut b = injector(0.099, 0.115);
-        let wl_a = a.draw_wordline(&after, &diff);
+        let a = injector(0.099, 0.115);
+        let b = injector(0.099, 0.115);
+        let ev = a.event(5, 3);
+        let wl_a = a.draw_wordline(&ev, &after, &diff);
         let mut wl_b = vec![999]; // stale content must be cleared
-        b.draw_wordline_into(&after, &diff, &mut wl_b);
+        b.draw_wordline_into(&ev, &after, &diff, &mut wl_b);
         assert_eq!(wl_a, wl_b);
-        let bl_a = a.draw_bitline(&diff, &LineBuf::zeroed());
+        let bl_a = a.draw_bitline(&ev, 1, &diff, &LineBuf::zeroed());
         let mut bl_b = vec![999];
-        b.draw_bitline_into(&diff, &LineBuf::zeroed(), &mut bl_b);
+        b.draw_bitline_into(&ev, 1, &diff, &LineBuf::zeroed(), &mut bl_b);
         assert_eq!(bl_a, bl_b);
         // Zero probability clears the buffer without consuming draws.
-        let mut z = injector(0.0, 0.0);
+        let z = injector(0.0, 0.0);
         let mut buf = vec![1, 2, 3];
-        z.draw_wordline_into(&after, &diff, &mut buf);
+        z.draw_wordline_into(&ev, &after, &diff, &mut buf);
         assert!(buf.is_empty());
     }
 
@@ -381,9 +464,12 @@ mod tests {
     fn storm_zero_silences_injection() {
         let mut inj = injector(1.0, 1.0);
         inj.set_storm(0.0).unwrap();
+        let ev = inj.event(1, 0);
         let (after, diff) = reset_heavy_diff(20);
-        assert!(inj.draw_wordline(&after, &diff).is_empty());
-        assert!(inj.draw_bitline(&diff, &LineBuf::zeroed()).is_empty());
+        assert!(inj.draw_wordline(&ev, &after, &diff).is_empty());
+        assert!(inj
+            .draw_bitline(&ev, 0, &diff, &LineBuf::zeroed())
+            .is_empty());
     }
 
     #[test]

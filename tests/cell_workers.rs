@@ -1,0 +1,72 @@
+//! Worker-count invariance of the bank-sharded controller.
+//!
+//! The tentpole contract of intra-cell parallelism: `SDPCM_CELL_WORKERS`
+//! changes *wall-clock time only*, never results. Every RNG draw is
+//! keyed by `(line, epoch)` counters and every accumulator is bank-lane
+//! local, so processing lanes serially, in any order, or on any number
+//! of worker threads must produce bit-identical `RunStats`, traffic
+//! counters, and device content digests. This test pins that at 1, 2,
+//! and 8 workers, with the internal profiler both off and on.
+
+use sdpcm_core::hiersim::{HierarchyParams, HierarchySim};
+use sdpcm_core::sweep::CELL_WORKERS_ENV;
+use sdpcm_core::{ExperimentParams, Scheme, SystemSim};
+use sdpcm_trace::BenchKind;
+
+/// Runs one fig11 system cell and one hierarchy cell, returning every
+/// observable: formatted `RunStats`, PCM traffic counts, and the device
+/// content digests of both simulations.
+fn observe(scheme: &Scheme, params: &ExperimentParams) -> (String, String, (u64, u64), u64, u64) {
+    let mut sys = SystemSim::build(scheme, BenchKind::Mcf, params).unwrap();
+    let sys_stats = sys.run().unwrap();
+    let sys_digest = sys.controller().store().content_digest();
+
+    let hp = HierarchyParams::quick_test();
+    let mut hier = HierarchySim::build(scheme.clone(), BenchKind::Mcf, params, &hp).unwrap();
+    let hier_stats = hier.run().unwrap();
+    (
+        format!("{sys_stats:?}"),
+        format!("{hier_stats:?}"),
+        hier.pcm_traffic(),
+        sys_digest,
+        hier.controller().store().content_digest(),
+    )
+}
+
+/// One test function (not one per worker count): the worker knob is an
+/// environment variable read at build time, and tests in one binary run
+/// concurrently — a single function keeps the env mutation race-free.
+#[test]
+fn results_are_bit_identical_at_any_cell_worker_count() {
+    let params = ExperimentParams {
+        refs_per_core: 400,
+        ..ExperimentParams::quick_test()
+    };
+    // LazyC+PreRead exercises the widest controller surface (VnC,
+    // LazyCorrection, PreRead); baseline covers the plain path.
+    for scheme in [Scheme::lazyc_preread(), Scheme::baseline()] {
+        std::env::remove_var(CELL_WORKERS_ENV);
+        let reference = observe(&scheme, &params);
+        for workers in ["1", "2", "8"] {
+            std::env::set_var(CELL_WORKERS_ENV, workers);
+            sdpcm_engine::prof::set_enabled(false);
+            assert_eq!(
+                observe(&scheme, &params),
+                reference,
+                "{}: diverged at {workers} workers",
+                scheme.name
+            );
+            // The profiler's thread-local counters must stay
+            // observationally free on the parallel path too.
+            sdpcm_engine::prof::set_enabled(true);
+            let profiled = observe(&scheme, &params);
+            sdpcm_engine::prof::set_enabled(false);
+            assert_eq!(
+                profiled, reference,
+                "{}: profiling perturbed results at {workers} workers",
+                scheme.name
+            );
+        }
+        std::env::remove_var(CELL_WORKERS_ENV);
+    }
+}
